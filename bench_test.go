@@ -1,0 +1,235 @@
+package botgrid
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation, one benchmark per experiment id (see DESIGN.md's experiment
+// index). Benchmarks run at the 10×-scaled "quick" configuration so that
+// `go test -bench=.` finishes in minutes; the full paper-scale sweep is
+// `go run ./cmd/sweep -figure all` (see EXPERIMENTS.md for recorded
+// results). Each figure benchmark reports the mean turnaround of the
+// fastest policy at the largest granularity as a stable shape indicator.
+
+import (
+	"testing"
+
+	"botgrid/internal/experiment"
+)
+
+var benchSink any
+
+func benchOptions() Options {
+	o := QuickOptions(42)
+	o.MinReps, o.MaxReps = 2, 2
+	o.NumBoTs = 40
+	o.Warmup = 8
+	return o
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	f, err := FigureByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := RunFigure(f, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = fr
+		if i == 0 {
+			top := o.Granularities[len(o.Granularities)-1]
+			if winner, ok := fr.Winner(top); ok {
+				c, _ := fr.Cell(top, winner)
+				b.ReportMetric(c.CI.Mean, "best-turnaround-s")
+			}
+		}
+	}
+}
+
+// Figure 1: high-availability configurations.
+
+func BenchmarkFig1a(b *testing.B) { benchFigure(b, "F1a") }
+func BenchmarkFig1b(b *testing.B) { benchFigure(b, "F1b") }
+func BenchmarkFig1c(b *testing.B) { benchFigure(b, "F1c") }
+func BenchmarkFig1d(b *testing.B) { benchFigure(b, "F1d") }
+
+// Figure 2: low-availability configurations.
+
+func BenchmarkFig2a(b *testing.B) { benchFigure(b, "F2a") }
+func BenchmarkFig2b(b *testing.B) { benchFigure(b, "F2b") }
+func BenchmarkFig2c(b *testing.B) { benchFigure(b, "F2c") }
+func BenchmarkFig2d(b *testing.B) { benchFigure(b, "F2d") }
+
+// MedAvail panels (§4.3 prose: "do not significantly differ").
+
+func BenchmarkFigMa(b *testing.B) { benchFigure(b, "FMa") }
+func BenchmarkFigMb(b *testing.B) { benchFigure(b, "FMb") }
+func BenchmarkFigMc(b *testing.B) { benchFigure(b, "FMc") }
+func BenchmarkFigMd(b *testing.B) { benchFigure(b, "FMd") }
+
+// T1: the Desktop Grid configuration table (§4.1).
+func BenchmarkTableConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiment.ConfigTable(uint64(i), 1)
+	}
+}
+
+// T2: the workload / arrival-rate table (§4.2).
+func BenchmarkTableWorkloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiment.WorkloadTable(1)
+	}
+}
+
+// A1: replication-threshold sweep (§3.2's threshold-2 claim).
+func BenchmarkAblationThreshold(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationThreshold(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// A2: static vs dynamic replication (future work).
+func BenchmarkAblationDynRep(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationDynamicReplication(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// A3: mixed-granularity workloads (future work).
+func BenchmarkAblationMixed(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.MixedWorkloadStudy(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = rows
+	}
+}
+
+// A4: WQR-FT vs plain WQR (checkpointing off).
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationCheckpointing(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// A5: knowledge-free vs knowledge-based machine selection.
+func BenchmarkAblationMachineSelection(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationMachineSelection(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// A6: within-bag task order (knowledge-based coupling, future work).
+func BenchmarkAblationTaskOrder(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationTaskOrder(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// A7: checkpoint server capacity (contention extension).
+func BenchmarkAblationServerCapacity(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationServerCapacity(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// A8: task-duration distribution sensitivity.
+func BenchmarkAblationTaskDist(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationTaskDistribution(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// A9: stationary vs diurnal availability.
+func BenchmarkAblationDiurnal(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationDiurnal(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// A10: kill-and-resubmit vs suspend-and-resume failure semantics.
+func BenchmarkAblationSuspend(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationSuspend(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+// BenchmarkSingleRun measures raw simulator throughput for one
+// paper-scale run (Het-LowAvail, the most event-dense configuration).
+func BenchmarkSingleRun(b *testing.B) {
+	cfg := NewRunConfig(Het, LowAvail, RR, 25000, 0.5)
+	cfg.NumBoTs = 20
+	cfg.Warmup = 4
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.EventsFired
+		benchSink = res
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// A11: centralized vs distributed scheduling architecture.
+func BenchmarkAblationArchitecture(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		ar, err := experiment.AblationArchitecture(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}

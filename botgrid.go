@@ -1,0 +1,259 @@
+// Package botgrid schedules multiple Bag-of-Tasks (BoT) applications on
+// simulated Desktop Grids, reproducing the system and the evaluation of
+// Anglano & Canonico, "Scheduling Algorithms for Multiple Bag-of-Task
+// Applications on Desktop Grids: a Knowledge-Free Approach" (IPDPS 2008).
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/des: the discrete-event simulation engine
+//   - internal/grid: machines, heterogeneity and availability models
+//   - internal/checkpoint: checkpoint servers and Young's formula
+//   - internal/workload: BoT generation and arrival processes
+//   - internal/core: the two-step scheduler (bag selection + WQR-FT)
+//   - internal/experiment: the replicated experiment harness
+//   - internal/trace and internal/stats: observability and statistics
+//
+// # Quick start
+//
+//	cfg := botgrid.NewRunConfig(botgrid.Het, botgrid.LowAvail, botgrid.RR,
+//		25000 /* granularity */, 0.5 /* utilization */)
+//	cfg.NumBoTs = 50
+//	res, err := botgrid.Run(cfg)
+//	fmt.Println(res.MeanTurnaround(), err)
+//
+// To regenerate a paper figure:
+//
+//	fig, _ := botgrid.FigureByID("F2a")
+//	fr, _ := botgrid.RunFigure(fig, botgrid.QuickOptions(42))
+//	fr.WriteChart(os.Stdout)
+package botgrid
+
+import (
+	"io"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/core"
+	"botgrid/internal/experiment"
+	"botgrid/internal/grid"
+	"botgrid/internal/multisite"
+	"botgrid/internal/rng"
+	"botgrid/internal/trace"
+	"botgrid/internal/workload"
+)
+
+// Core scheduling types.
+type (
+	// Policy identifies a bag-selection policy.
+	Policy = core.PolicyKind
+	// RunConfig describes one simulation run.
+	RunConfig = core.RunConfig
+	// SchedConfig tunes the WQR-FT individual-bag scheduler.
+	SchedConfig = core.SchedConfig
+	// Result aggregates a run's output.
+	Result = core.Result
+	// BagStats summarizes one completed bag.
+	BagStats = core.BagStats
+	// Observer receives scheduling events.
+	Observer = core.Observer
+)
+
+// Substrate configuration types.
+type (
+	// GridConfig describes a Desktop Grid configuration.
+	GridConfig = grid.Config
+	// Heterogeneity selects how machine powers are drawn.
+	Heterogeneity = grid.Heterogeneity
+	// Availability selects the machine availability level.
+	Availability = grid.Availability
+	// CheckpointConfig describes the checkpoint subsystem.
+	CheckpointConfig = checkpoint.Config
+	// WorkloadConfig describes a BoT arrival stream.
+	WorkloadConfig = workload.Config
+)
+
+// Experiment harness types.
+type (
+	// Figure identifies one panel of the paper's evaluation.
+	Figure = experiment.Figure
+	// FigureResult holds the replicated cells of a panel.
+	FigureResult = experiment.FigureResult
+	// Options tunes the experiment harness.
+	Options = experiment.Options
+	// Cell is one (granularity, policy) point of a figure.
+	Cell = experiment.Cell
+	// TraceRecorder captures structured simulation traces; it implements
+	// Observer.
+	TraceRecorder = trace.Recorder
+	// BoT is one Bag-of-Tasks application specification.
+	BoT = workload.BoT
+	// AvailEvent is one machine availability transition in a replayable
+	// trace.
+	AvailEvent = grid.AvailEvent
+	// TaskOrder is the within-bag dispatch order.
+	TaskOrder = core.TaskOrder
+)
+
+// The paper's five knowledge-free bag-selection policies plus extensions.
+const (
+	FCFSExcl  = core.FCFSExcl
+	FCFSShare = core.FCFSShare
+	RR        = core.RR
+	RRNRF     = core.RRNRF
+	LongIdle  = core.LongIdle
+	Random    = core.Random
+	FairShare = core.FairShare
+	SJFKB     = core.SJFKB
+)
+
+// Grid configuration levels.
+const (
+	Hom       = grid.Hom
+	Het       = grid.Het
+	HighAvail = grid.HighAvail
+	MedAvail  = grid.MedAvail
+	LowAvail  = grid.LowAvail
+	AlwaysUp  = grid.AlwaysUp
+)
+
+// Within-bag task dispatch orders.
+const (
+	ArbitraryOrder = core.ArbitraryOrder
+	LongestFirst   = core.LongestFirst
+	ShortestFirst  = core.ShortestFirst
+)
+
+// Workload intensity levels (target utilizations, paper §4.2).
+const (
+	LowIntensity    = workload.LowIntensity
+	MediumIntensity = workload.MediumIntensity
+	HighIntensity   = workload.HighIntensity
+)
+
+// DefaultGranularities are the four BoT types of the study.
+var DefaultGranularities = workload.DefaultGranularities
+
+// PaperPolicies are the five policies the paper evaluates, in figure order.
+var PaperPolicies = core.PaperKinds
+
+// AllPolicies includes the extension policies as well.
+var AllPolicies = core.Kinds
+
+// Figures lists every evaluation panel (F1a..F2d plus MedAvail checks).
+var Figures = experiment.Figures
+
+// Run executes one simulation run. See core.Run.
+func Run(cfg RunConfig) (Result, error) { return core.Run(cfg) }
+
+// ParsePolicy maps a policy display name ("FCFS-Share") to its Policy.
+func ParsePolicy(name string) (Policy, error) { return core.ParsePolicy(name) }
+
+// DefaultGridConfig returns the paper's grid configuration for the given
+// heterogeneity and availability levels.
+func DefaultGridConfig(h Heterogeneity, a Availability) GridConfig {
+	return grid.DefaultConfig(h, a)
+}
+
+// DefaultCheckpointConfig returns the paper's checkpoint parameters.
+func DefaultCheckpointConfig() CheckpointConfig { return checkpoint.DefaultConfig() }
+
+// EffectivePower returns the grid power available for useful work under a
+// configuration (total power × availability × checkpoint overhead).
+func EffectivePower(gc GridConfig, cc CheckpointConfig) float64 {
+	return core.EffectivePower(gc, cc)
+}
+
+// LambdaForUtilization inverts the paper's Eq. 1 (U = λ·D).
+func LambdaForUtilization(util, appSize, effectivePower float64) float64 {
+	return workload.LambdaForUtilization(util, appSize, effectivePower)
+}
+
+// NewRunConfig assembles a paper-parameterized run: the default grid for
+// (h, a), the default application size and spread at the given granularity,
+// and the arrival rate hitting the target utilization. Callers adjust the
+// returned config (NumBoTs, Warmup, Seed, Sched, ...) before Run.
+func NewRunConfig(h Heterogeneity, a Availability, p Policy, granularity, utilization float64) RunConfig {
+	gc := grid.DefaultConfig(h, a)
+	cc := checkpoint.DefaultConfig()
+	return RunConfig{
+		Seed: 1,
+		Grid: gc,
+		Workload: WorkloadConfig{
+			Granularities: []float64{granularity},
+			AppSize:       workload.DefaultAppSize,
+			Spread:        workload.DefaultSpread,
+			Lambda:        workload.LambdaForUtilization(utilization, workload.DefaultAppSize, core.EffectivePower(gc, cc)),
+		},
+		Policy:     p,
+		Checkpoint: cc,
+		NumBoTs:    100,
+		Warmup:     10,
+	}
+}
+
+// FigureByID finds an evaluation panel by its experiment identifier.
+func FigureByID(id string) (Figure, error) { return experiment.FigureByID(id) }
+
+// RunFigure reproduces one evaluation panel.
+func RunFigure(f Figure, o Options) (*FigureResult, error) { return experiment.RunFigure(f, o) }
+
+// DefaultOptions returns paper-scale experiment settings.
+func DefaultOptions(seed uint64) Options { return experiment.DefaultOptions(seed) }
+
+// QuickOptions returns 10×-scaled-down experiment settings that preserve
+// the paper's tasks-per-bag : machines ratios.
+func QuickOptions(seed uint64) Options { return experiment.QuickOptions(seed) }
+
+// NewTraceRecorder returns an Observer recording up to max events
+// (<=0 means a generous default).
+func NewTraceRecorder(max int) *TraceRecorder { return trace.New(max) }
+
+// Distributed-architecture baseline (internal/multisite, experiment A11).
+type (
+	// DistributedConfig describes a multi-site distributed run.
+	DistributedConfig = multisite.Config
+	// DistributedResult aggregates a distributed run.
+	DistributedResult = multisite.Result
+	// Dispatch selects how bags are routed to sites.
+	Dispatch = multisite.Dispatch
+)
+
+// Site dispatchers for distributed runs.
+const (
+	RoundRobinSite  = multisite.RoundRobinSite
+	RandomSite      = multisite.RandomSite
+	LeastLoadedSite = multisite.LeastLoadedSite
+)
+
+// RunDistributed executes a multi-site distributed simulation — the
+// architecture the paper's related work contrasts with its centralized
+// scheduler.
+func RunDistributed(cfg DistributedConfig) (DistributedResult, error) {
+	return multisite.Run(cfg)
+}
+
+// WorkloadGenerator draws BoTs and their Poisson arrival times.
+type WorkloadGenerator = workload.Generator
+
+// NewWorkloadGenerator builds a generator whose random streams match what
+// Run derives from the same seed: Take(cfg.NumBoTs) reproduces exactly the
+// BoT stream a generated run with that seed consumed, which is how traces
+// are captured for replay.
+func NewWorkloadGenerator(cfg WorkloadConfig, seed uint64) *WorkloadGenerator {
+	return workload.NewGenerator(cfg, rng.Root(seed, "tasks"), rng.Root(seed, "arrivals"))
+}
+
+// ReadWorkloadTrace parses a JSONL BoT stream; assign the result to
+// RunConfig.Bots to replay it.
+func ReadWorkloadTrace(r io.Reader) ([]*BoT, error) { return workload.ReadTrace(r) }
+
+// WriteWorkloadTrace serializes a BoT stream as JSON Lines.
+func WriteWorkloadTrace(w io.Writer, bots []*BoT) error { return workload.WriteTrace(w, bots) }
+
+// ReadAvailTrace parses a JSONL availability trace; assign the result to
+// RunConfig.AvailTrace to replay it.
+func ReadAvailTrace(r io.Reader) ([]AvailEvent, error) { return grid.ReadAvailTrace(r) }
+
+// WriteAvailTrace serializes an availability trace as JSON Lines.
+func WriteAvailTrace(w io.Writer, events []AvailEvent) error {
+	return grid.WriteAvailTrace(w, events)
+}

@@ -1,0 +1,142 @@
+package botgrid
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeRun(t *testing.T) {
+	cfg := NewRunConfig(Hom, HighAvail, FCFSShare, 5000, 0.5)
+	cfg.NumBoTs = 20
+	cfg.Warmup = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20 || res.Saturated {
+		t.Fatalf("completed=%d saturated=%v", res.Completed, res.Saturated)
+	}
+	if m := res.MeanTurnaround(); math.IsNaN(m) || m <= 0 {
+		t.Fatalf("mean turnaround = %v", m)
+	}
+}
+
+func TestFacadeNewRunConfigDerivesLambda(t *testing.T) {
+	cfg := NewRunConfig(Het, LowAvail, RR, 25000, 0.9)
+	gc := DefaultGridConfig(Het, LowAvail)
+	want := LambdaForUtilization(0.9, cfg.Workload.AppSize, EffectivePower(gc, DefaultCheckpointConfig()))
+	if cfg.Workload.Lambda != want {
+		t.Fatalf("lambda = %v, want %v", cfg.Workload.Lambda, want)
+	}
+}
+
+func TestFacadeFigure(t *testing.T) {
+	fig, err := FigureByID("F1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := QuickOptions(1)
+	o.Granularities = []float64{1000}
+	o.Policies = []Policy{FCFSShare}
+	o.MinReps, o.MaxReps = 2, 2
+	o.NumBoTs, o.Warmup = 20, 2
+	fr, err := RunFigure(fig, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FCFS-Share") {
+		t.Fatal("figure table missing policy column")
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	rec := NewTraceRecorder(100)
+	cfg := NewRunConfig(Hom, AlwaysUp, RR, 1000, 0.5)
+	cfg.NumBoTs, cfg.Warmup = 5, 0
+	cfg.Observer = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("trace recorder captured nothing")
+	}
+}
+
+func TestFacadeConstantsDistinct(t *testing.T) {
+	pols := map[Policy]bool{}
+	for _, p := range AllPolicies {
+		if pols[p] {
+			t.Fatalf("duplicate policy constant %v", p)
+		}
+		pols[p] = true
+	}
+	if len(PaperPolicies) != 5 {
+		t.Fatalf("PaperPolicies has %d entries, want 5", len(PaperPolicies))
+	}
+	if len(Figures) != 12 {
+		t.Fatalf("Figures has %d entries, want 12", len(Figures))
+	}
+	if len(DefaultGranularities) != 4 {
+		t.Fatalf("DefaultGranularities has %d entries, want 4", len(DefaultGranularities))
+	}
+	if _, err := ParsePolicy("LongIdle"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadGeneratorMatchesRun(t *testing.T) {
+	cfg := NewRunConfig(Hom, AlwaysUp, FCFSShare, 1000, 0.5)
+	cfg.Grid.TotalPower = 100
+	cfg.Workload.AppSize = 10000
+	cfg.Workload.Lambda = LambdaForUtilization(0.5, 10000,
+		EffectivePower(cfg.Grid, DefaultCheckpointConfig()))
+	cfg.NumBoTs = 10
+	cfg.Warmup = 0
+	gen, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the regenerated stream must be bit-identical.
+	replay := cfg
+	replay.Bots = NewWorkloadGenerator(cfg.Workload, cfg.Seed).Take(cfg.NumBoTs)
+	rep, err := Run(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.MeanTurnaround() != rep.MeanTurnaround() || gen.Completed != rep.Completed {
+		t.Fatalf("replay diverged: %v vs %v", gen.MeanTurnaround(), rep.MeanTurnaround())
+	}
+}
+
+func TestRunDistributedFacade(t *testing.T) {
+	gc := DefaultGridConfig(Hom, HighAvail)
+	gc.TotalPower = 100
+	res, err := RunDistributed(DistributedConfig{
+		Seed:     1,
+		Grid:     gc,
+		Sites:    2,
+		Dispatch: RoundRobinSite,
+		Policy:   FCFSShare,
+		Workload: WorkloadConfig{
+			Granularities: []float64{1000},
+			AppSize:       20000,
+			Spread:        0.5,
+			Lambda: LambdaForUtilization(0.5, 20000,
+				EffectivePower(gc, DefaultCheckpointConfig())),
+		},
+		NumBoTs: 20,
+		Warmup:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20 || res.Saturated {
+		t.Fatalf("completed=%d saturated=%v", res.Completed, res.Saturated)
+	}
+}

@@ -1,0 +1,257 @@
+// Command botsim runs a single Desktop Grid simulation and reports per-bag
+// and aggregate statistics, optionally dumping a structured event trace.
+//
+// Examples:
+//
+//	botsim -grid het -avail low -gran 25000 -util 0.9 -policy RR -bots 50
+//	botsim -gran 1000 -policy FCFS-Share -trace /tmp/trace.txt
+//	botsim -gran 5000 -policy LongIdle -trace-json /tmp/trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/rng"
+	"botgrid/internal/stats"
+	"botgrid/internal/trace"
+	"botgrid/internal/workload"
+)
+
+func main() {
+	var (
+		gridKind  = flag.String("grid", "hom", "machine heterogeneity: hom|het")
+		avail     = flag.String("avail", "high", "availability: high|med|low|always")
+		policy    = flag.String("policy", "FCFS-Share", "bag-selection policy (FCFS-Excl, FCFS-Share, RR, RR-NRF, LongIdle, Random, FairShare, SJF-KB)")
+		gran      = flag.Float64("gran", 5000, "task granularity in reference seconds")
+		util      = flag.Float64("util", 0.5, "target grid utilization in (0,1)")
+		lambda    = flag.Float64("lambda", 0, "explicit arrival rate (overrides -util)")
+		appSize   = flag.Float64("appsize", workload.DefaultAppSize, "application size in reference seconds")
+		power     = flag.Float64("power", 1000, "total grid computing power")
+		bots      = flag.Int("bots", 100, "number of BoT arrivals")
+		warmup    = flag.Int("warmup", 10, "completed bags to discard from statistics")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		threshold = flag.Int("threshold", 2, "WQR-FT replication threshold")
+		dynRep    = flag.Bool("dynrep", false, "enable dynamic replication")
+		fastest   = flag.Bool("fastest", false, "knowledge-based fastest-machine-first dispatch")
+		order     = flag.String("order", "arbitrary", "within-bag task order: arbitrary|longest|shortest")
+		noCkpt    = flag.Bool("nockpt", false, "disable checkpointing (plain WQR)")
+		suspend   = flag.Bool("suspend", false, "BOINC-style suspend/resume failure semantics")
+		traceTxt  = flag.String("trace", "", "write a human-readable event trace to this file")
+		traceJSON = flag.String("trace-json", "", "write a JSON Lines event trace to this file")
+		perBag    = flag.Bool("perbag", false, "print one line per completed bag")
+		wlIn      = flag.String("workload-in", "", "replay a JSONL BoT trace instead of generating one")
+		wlOut     = flag.String("workload-out", "", "write the generated BoT stream to this JSONL file")
+		availIn   = flag.String("avail-in", "", "replay a JSONL machine-availability trace")
+	)
+	flag.Parse()
+
+	h, err := parseHeterogeneity(*gridKind)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := parseAvailability(*avail)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	taskOrder, err := parseOrder(*order)
+	if err != nil {
+		fatal(err)
+	}
+
+	gc := grid.DefaultConfig(h, a)
+	gc.TotalPower = *power
+	cc := checkpoint.DefaultConfig()
+	cc.Enabled = !*noCkpt
+
+	lam := *lambda
+	if lam <= 0 {
+		lam = workload.LambdaForUtilization(*util, *appSize, core.EffectivePower(gc, cc))
+	}
+
+	var rec *trace.Recorder
+	var obs core.Observer
+	if *traceTxt != "" || *traceJSON != "" {
+		rec = trace.New(0)
+		obs = rec
+	}
+
+	cfg := core.RunConfig{
+		Seed: *seed,
+		Grid: gc,
+		Workload: workload.Config{
+			Granularities: []float64{*gran},
+			AppSize:       *appSize,
+			Spread:        workload.DefaultSpread,
+			Lambda:        lam,
+		},
+		Policy: pol,
+		Sched: core.SchedConfig{
+			Threshold:           *threshold,
+			TaskOrder:           taskOrder,
+			DynamicReplication:  *dynRep,
+			FastestMachineFirst: *fastest,
+			SuspendOnFailure:    *suspend,
+		},
+		Checkpoint: cc,
+		NumBoTs:    *bots,
+		Warmup:     *warmup,
+		Observer:   obs,
+	}
+	switch {
+	case *wlIn != "":
+		bots, err := readWorkload(*wlIn)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Bots = bots
+	case *wlOut != "":
+		// Materialize the exact stream the run would generate, so the
+		// written file reproduces this run bit-for-bit when replayed.
+		gen := workload.NewGenerator(cfg.Workload,
+			rng.Root(cfg.Seed, "tasks"), rng.Root(cfg.Seed, "arrivals"))
+		cfg.Bots = gen.Take(cfg.NumBoTs)
+		if err := writeFile(*wlOut, func(w io.Writer) error {
+			return workload.WriteTrace(w, cfg.Bots)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload    %d bags -> %s\n", len(cfg.Bots), *wlOut)
+	}
+	if *availIn != "" {
+		events, err := readAvail(*availIn)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.AvailTrace = events
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scenario    %s  policy=%s  gran=%.0f  lambda=%.3e (U target %.2f)\n",
+		gc.Name(), pol, *gran, lam, *util)
+	fmt.Printf("bags        submitted=%d completed=%d collected=%d saturated=%v\n",
+		res.Submitted, res.Completed, len(res.Bags), res.Saturated)
+	fmt.Printf("tasks       completed=%d replicas=%d killed-siblings=%d failures=%d suspensions=%d\n",
+		res.TasksCompleted, res.ReplicasStarted, res.ReplicasKilled, res.ReplicaFailures, res.Suspensions)
+	fmt.Printf("checkpoints saves=%d retrieves=%d\n", res.CheckpointSaves, res.CheckpointRetrieves)
+	fmt.Printf("simulation  t_end=%.0f s  events=%d\n", res.SimEnd, res.EventsFired)
+
+	var turn, wait, mk stats.Accumulator
+	for _, b := range res.Bags {
+		turn.Add(b.Turnaround)
+		wait.Add(b.Waiting)
+		mk.Add(b.Makespan)
+	}
+	if turn.N() > 0 {
+		ci := turn.CI(0.95)
+		fmt.Printf("turnaround  mean=%.0f ± %.0f (95%% CI, n=%d)  min=%.0f max=%.0f\n",
+			ci.Mean, ci.HalfWidth, turn.N(), turn.Min(), turn.Max())
+		fmt.Printf("breakdown   waiting=%.0f  makespan=%.0f\n", wait.Mean(), mk.Mean())
+	} else {
+		fmt.Println("turnaround  no bags completed after warmup")
+	}
+	if *perBag {
+		fmt.Println("\n  bag  gran    tasks  arrival    waiting   makespan  turnaround")
+		for _, b := range res.Bags {
+			fmt.Printf("  %-4d %-7.0f %-6d %-10.0f %-9.0f %-9.0f %.0f\n",
+				b.ID, b.Granularity, b.NumTasks, b.Arrival, b.Waiting, b.Makespan, b.Turnaround)
+		}
+	}
+
+	if rec != nil {
+		if *traceTxt != "" {
+			if err := writeFile(*traceTxt, rec.WriteText); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace       %d events -> %s\n", rec.Len(), *traceTxt)
+		}
+		if *traceJSON != "" {
+			if err := writeFile(*traceJSON, rec.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace       %d events -> %s\n", rec.Len(), *traceJSON)
+		}
+	}
+}
+
+func parseHeterogeneity(s string) (grid.Heterogeneity, error) {
+	switch strings.ToLower(s) {
+	case "hom":
+		return grid.Hom, nil
+	case "het":
+		return grid.Het, nil
+	}
+	return 0, fmt.Errorf("botsim: unknown grid kind %q (hom|het)", s)
+}
+
+func parseAvailability(s string) (grid.Availability, error) {
+	switch strings.ToLower(s) {
+	case "high":
+		return grid.HighAvail, nil
+	case "med", "medium":
+		return grid.MedAvail, nil
+	case "low":
+		return grid.LowAvail, nil
+	case "always", "none":
+		return grid.AlwaysUp, nil
+	}
+	return 0, fmt.Errorf("botsim: unknown availability %q (high|med|low|always)", s)
+}
+
+func parseOrder(s string) (core.TaskOrder, error) {
+	switch strings.ToLower(s) {
+	case "arbitrary", "wqr":
+		return core.ArbitraryOrder, nil
+	case "longest", "lpt":
+		return core.LongestFirst, nil
+	case "shortest", "spt":
+		return core.ShortestFirst, nil
+	}
+	return 0, fmt.Errorf("botsim: unknown task order %q (arbitrary|longest|shortest)", s)
+}
+
+func writeFile(path string, fn func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func readWorkload(path string) ([]*workload.BoT, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadTrace(f)
+}
+
+func readAvail(path string) ([]grid.AvailEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return grid.ReadAvailTrace(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "botsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/rng"
+	"botgrid/internal/workload"
+)
+
+func TestParseHeterogeneity(t *testing.T) {
+	cases := map[string]grid.Heterogeneity{
+		"hom": grid.Hom, "HOM": grid.Hom, "het": grid.Het, "Het": grid.Het,
+	}
+	for in, want := range cases {
+		got, err := parseHeterogeneity(in)
+		if err != nil || got != want {
+			t.Fatalf("parseHeterogeneity(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseHeterogeneity("mixed"); err == nil {
+		t.Fatal("accepted unknown heterogeneity")
+	}
+}
+
+func TestParseAvailability(t *testing.T) {
+	cases := map[string]grid.Availability{
+		"high": grid.HighAvail, "med": grid.MedAvail, "medium": grid.MedAvail,
+		"low": grid.LowAvail, "always": grid.AlwaysUp, "none": grid.AlwaysUp,
+	}
+	for in, want := range cases {
+		got, err := parseAvailability(in)
+		if err != nil || got != want {
+			t.Fatalf("parseAvailability(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAvailability("flaky"); err == nil {
+		t.Fatal("accepted unknown availability")
+	}
+}
+
+func TestParseOrder(t *testing.T) {
+	cases := map[string]core.TaskOrder{
+		"arbitrary": core.ArbitraryOrder, "wqr": core.ArbitraryOrder,
+		"longest": core.LongestFirst, "LPT": core.LongestFirst,
+		"shortest": core.ShortestFirst, "spt": core.ShortestFirst,
+	}
+	for in, want := range cases {
+		got, err := parseOrder(in)
+		if err != nil || got != want {
+			t.Fatalf("parseOrder(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseOrder("random"); err == nil {
+		t.Fatal("accepted unknown order")
+	}
+}
+
+func TestTraceFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	wlPath := filepath.Join(dir, "wl.jsonl")
+	gen := workload.NewGenerator(workload.Config{
+		Granularities: []float64{1000},
+		AppSize:       5000,
+		Spread:        0.5,
+		Lambda:        1e-3,
+	}, rng.Root(1, "tasks"), rng.Root(1, "arrivals"))
+	bots := gen.Take(3)
+	if err := writeFile(wlPath, func(w io.Writer) error {
+		return workload.WriteTrace(w, bots)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readWorkload(wlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("read %d bots, want 3", len(back))
+	}
+	if _, err := readWorkload(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+
+	avPath := filepath.Join(dir, "avail.jsonl")
+	events := []grid.AvailEvent{{Time: 1, Machine: 0, Up: false}}
+	f, err := os.Create(avPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.WriteAvailTrace(f, events); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := readAvail(avPath)
+	if err != nil || len(got) != 1 || got[0] != events[0] {
+		t.Fatalf("readAvail = %v, %v", got, err)
+	}
+	if _, err := readAvail(filepath.Join(dir, "missing2.jsonl")); err == nil {
+		t.Fatal("missing avail file accepted")
+	}
+}

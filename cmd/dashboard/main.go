@@ -1,0 +1,192 @@
+// Command dashboard serves an interactive view of the experiment suite:
+// it runs figure panels on demand (quick scale by default) and renders
+// them as SVG charts with their data tables, plus a JSON API for tooling.
+//
+//	dashboard -addr :8080          # then open http://localhost:8080/
+//	dashboard -addr :8080 -scale 1 # paper-scale runs (slower)
+//
+// Endpoints:
+//
+//	/                 index with links to every figure
+//	/figure/{id}      HTML page: SVG chart + table + winners
+//	/figure/{id}.svg  the chart alone
+//	/api/figure/{id}  JSON document (same schema as sweep -format json)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"botgrid/internal/experiment"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seed    = flag.Uint64("seed", 42, "base random seed")
+		quick   = flag.Bool("quick", true, "10×-scaled quick runs (disable for paper scale)")
+		minReps = flag.Int("minreps", 0, "override minimum replications per cell")
+		maxReps = flag.Int("maxreps", 0, "override maximum replications per cell")
+		bots    = flag.Int("bots", 0, "override BoT arrivals per replication")
+	)
+	flag.Parse()
+
+	opts := experiment.DefaultOptions(*seed)
+	if *quick {
+		opts = experiment.QuickOptions(*seed)
+	}
+	if *minReps > 0 {
+		opts.MinReps = *minReps
+	}
+	if *maxReps > 0 {
+		opts.MaxReps = *maxReps
+	}
+	if *bots > 0 {
+		opts.NumBoTs = *bots
+	}
+
+	srv := newServer(opts)
+	log.Printf("dashboard listening on http://%s/ (scale %.2g)", *addr, opts.Scale)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// server runs and caches figure results.
+type server struct {
+	opts experiment.Options
+	mux  *http.ServeMux
+
+	mu    sync.Mutex
+	cache map[string]*experiment.FigureResult
+}
+
+// newServer wires the routes.
+func newServer(opts experiment.Options) *server {
+	s := &server{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		cache: make(map[string]*experiment.FigureResult),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/figure/", s.handleFigure)
+	s.mux.HandleFunc("/api/figure/", s.handleAPI)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// result runs a figure (or returns the cached run).
+func (s *server) result(id string) (*experiment.FigureResult, error) {
+	s.mu.Lock()
+	if fr, ok := s.cache[id]; ok {
+		s.mu.Unlock()
+		return fr, nil
+	}
+	s.mu.Unlock()
+	f, err := experiment.FigureByID(id)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := experiment.RunFigure(f, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[id] = fr
+	s.mu.Unlock()
+	return fr, nil
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>botgrid dashboard</title>
+<style>body{font-family:sans-serif;max-width:52rem;margin:2rem auto}li{margin:.3rem 0}</style>
+</head><body>
+<h1>Multi-BoT Desktop Grid scheduling — evaluation dashboard</h1>
+<p>Each link runs (and caches) one panel of the paper's evaluation at
+scale {{printf "%.2g" .Scale}} and renders it as an SVG grouped bar chart.</p>
+<ul>
+{{range .Figures}}<li><a href="/figure/{{.ID}}">{{.ID}}</a> — {{.Caption}}</li>
+{{end}}</ul>
+</body></html>`))
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := struct {
+		Scale   float64
+		Figures []experiment.Figure
+	}{s.opts.Scale, experiment.Figures}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, data); err != nil {
+		log.Printf("dashboard: index render: %v", err)
+	}
+}
+
+var figureTmpl = template.Must(template.New("figure").Parse(`<!DOCTYPE html>
+<html><head><title>{{.ID}} — botgrid</title>
+<style>body{font-family:sans-serif;max-width:60rem;margin:2rem auto}
+pre{background:#f6f6f6;padding:1rem;overflow-x:auto}</style>
+</head><body>
+<p><a href="/">&larr; all figures</a></p>
+<h1>{{.ID}}</h1><p>{{.Caption}}</p>
+<object data="/figure/{{.ID}}.svg" type="image/svg+xml" width="760" height="420"></object>
+<h2>Data</h2><pre>{{.Table}}</pre>
+<h2>Winners</h2><pre>{{.Summary}}</pre>
+<p><a href="/api/figure/{{.ID}}">JSON</a></p>
+</body></html>`))
+
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/figure/")
+	if svgID, ok := strings.CutSuffix(id, ".svg"); ok {
+		fr, err := s.result(svgID)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		if err := fr.WriteSVG(w); err != nil {
+			log.Printf("dashboard: svg render: %v", err)
+		}
+		return
+	}
+	fr, err := s.result(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var tbl, sum strings.Builder
+	if err := fr.WriteTable(&tbl); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := fr.WriteSummary(&sum); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data := struct {
+		ID, Caption, Table, Summary string
+	}{fr.Figure.ID, fr.Figure.Caption, tbl.String(), sum.String()}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := figureTmpl.Execute(w, data); err != nil {
+		log.Printf("dashboard: figure render: %v", err)
+	}
+}
+
+func (s *server) handleAPI(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/api/figure/")
+	fr, err := s.result(id)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := fr.WriteJSON(w); err != nil {
+		log.Printf("dashboard: json render: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"botgrid/internal/core"
+	"botgrid/internal/experiment"
+)
+
+func testServer() *server {
+	opts := experiment.QuickOptions(3)
+	opts.Granularities = []float64{1000}
+	opts.Policies = []core.PolicyKind{core.FCFSShare, core.RR}
+	opts.MinReps, opts.MaxReps = 2, 2
+	opts.NumBoTs, opts.Warmup = 20, 4
+	return newServer(opts)
+}
+
+func get(t *testing.T, s *server, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestIndex(t *testing.T) {
+	s := testServer()
+	res, body := get(t, s, "/")
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	for _, want := range []string{"F1a", "F2d", "dashboard"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %q", want)
+		}
+	}
+}
+
+func TestIndexUnknownPath(t *testing.T) {
+	s := testServer()
+	res, _ := get(t, s, "/nope")
+	if res.StatusCode != 404 {
+		t.Fatalf("status %d, want 404", res.StatusCode)
+	}
+}
+
+func TestFigurePage(t *testing.T) {
+	s := testServer()
+	res, body := get(t, s, "/figure/F1a")
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	for _, want := range []string{"F1a", "FCFS-Share", "winner="} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("figure page missing %q", want)
+		}
+	}
+}
+
+func TestFigureSVGEndpoint(t *testing.T) {
+	s := testServer()
+	res, body := get(t, s, "/figure/F1a.svg")
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.HasPrefix(body, "<svg") {
+		t.Fatal("not an SVG document")
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	s := testServer()
+	res, _ := get(t, s, "/figure/F9z")
+	if res.StatusCode != 404 {
+		t.Fatalf("status %d, want 404", res.StatusCode)
+	}
+}
+
+func TestAPIFigure(t *testing.T) {
+	s := testServer()
+	res, body := get(t, s, "/api/figure/F2a")
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var doc struct {
+		ID    string `json:"id"`
+		Cells []any  `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.ID != "F2a" || len(doc.Cells) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestCaching(t *testing.T) {
+	s := testServer()
+	get(t, s, "/figure/F1a.svg")
+	if len(s.cache) != 1 {
+		t.Fatalf("cache size %d, want 1", len(s.cache))
+	}
+	// Second request hits the cache (same pointer).
+	fr1 := s.cache["F1a"]
+	get(t, s, "/figure/F1a")
+	if s.cache["F1a"] != fr1 {
+		t.Fatal("cache entry replaced")
+	}
+}

@@ -1,0 +1,232 @@
+// Command gridgen generates, inspects and validates the JSONL trace files
+// consumed by botsim's -workload-in and -avail-in flags, making synthetic
+// experiments portable and repeatable.
+//
+//	gridgen workload -gran 25000 -bots 50 -util 0.5 -o wl.jsonl
+//	gridgen avail -grid het -avail low -horizon 500000 -o avail.jsonl
+//	gridgen stats wl.jsonl
+//	gridgen stats avail.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/core"
+	"botgrid/internal/des"
+	"botgrid/internal/grid"
+	"botgrid/internal/rng"
+	"botgrid/internal/stats"
+	"botgrid/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "workload":
+		err = cmdWorkload(os.Args[2:])
+	case "avail":
+		err = cmdAvail(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridgen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gridgen workload [flags]   generate a BoT arrival trace
+  gridgen avail    [flags]   generate a machine availability trace
+  gridgen stats <file>       summarize a trace file (kind auto-detected)`)
+	os.Exit(2)
+}
+
+func cmdWorkload(args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	var (
+		gran    = fs.Float64("gran", 5000, "task granularity in reference seconds")
+		appSize = fs.Float64("appsize", workload.DefaultAppSize, "application size in reference seconds")
+		util    = fs.Float64("util", 0.5, "target utilization used to derive the arrival rate")
+		power   = fs.Float64("power", 1000, "grid power used to derive the arrival rate")
+		avail   = fs.String("avail", "high", "availability level used to derive the arrival rate")
+		bots    = fs.Int("bots", 100, "number of arrivals")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		dist    = fs.String("dist", "uniform", "task-duration distribution: uniform|weibull|lognormal")
+		out     = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := parseAvail(*avail)
+	if err != nil {
+		return err
+	}
+	gc := grid.DefaultConfig(grid.Hom, a)
+	gc.TotalPower = *power
+	d, err := parseDist(*dist)
+	if err != nil {
+		return err
+	}
+	cfg := workload.Config{
+		Granularities: []float64{*gran},
+		AppSize:       *appSize,
+		Spread:        workload.DefaultSpread,
+		Lambda: workload.LambdaForUtilization(*util, *appSize,
+			core.EffectivePower(gc, checkpoint.DefaultConfig())),
+		Dist: d,
+	}
+	gen := workload.NewGenerator(cfg, rng.Root(*seed, "tasks"), rng.Root(*seed, "arrivals"))
+	return withOutput(*out, func(w *os.File) error {
+		return workload.WriteTrace(w, gen.Take(*bots))
+	})
+}
+
+func cmdAvail(args []string) error {
+	fs := flag.NewFlagSet("avail", flag.ExitOnError)
+	var (
+		het     = fs.String("grid", "hom", "heterogeneity: hom|het")
+		avail   = fs.String("avail", "low", "availability level: high|med|low")
+		power   = fs.Float64("power", 1000, "total grid power")
+		horizon = fs.Float64("horizon", 1e6, "trace length in simulated seconds")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		out     = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := parseAvail(*avail)
+	if err != nil {
+		return err
+	}
+	var h grid.Heterogeneity
+	switch strings.ToLower(*het) {
+	case "hom":
+		h = grid.Hom
+	case "het":
+		h = grid.Het
+	default:
+		return fmt.Errorf("unknown grid kind %q", *het)
+	}
+	gc := grid.DefaultConfig(h, a)
+	gc.TotalPower = *power
+	g := grid.Build(gc, rng.Root(*seed, "grid-build"))
+	eng := des.New()
+	rec := grid.NewAvailRecorder(eng, nil)
+	g.Start(eng, rng.Root(*seed, "availability"), rec)
+	eng.RunUntil(*horizon)
+	return withOutput(*out, func(w *os.File) error {
+		return grid.WriteAvailTrace(w, rec.Events())
+	})
+}
+
+func cmdStats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stats needs exactly one trace file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Try workload format first, then availability.
+	if bots, err := workload.ReadTrace(f); err == nil {
+		return workloadStats(bots)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	events, err := grid.ReadAvailTrace(f)
+	if err != nil || len(events) == 0 {
+		return fmt.Errorf("%s is neither a valid workload nor availability trace", args[0])
+	}
+	return availStats(events)
+}
+
+func workloadStats(bots []*workload.BoT) error {
+	var tasks, work, inter stats.Accumulator
+	prev := 0.0
+	grans := map[float64]int{}
+	for _, b := range bots {
+		tasks.Add(float64(b.NumTasks()))
+		work.Add(b.TotalWork())
+		inter.Add(b.Arrival - prev)
+		prev = b.Arrival
+		grans[b.Granularity]++
+	}
+	fmt.Printf("workload trace: %d bags over %.0f s\n", len(bots), prev)
+	fmt.Printf("  tasks/bag      mean %.1f  min %.0f  max %.0f\n", tasks.Mean(), tasks.Min(), tasks.Max())
+	fmt.Printf("  work/bag       mean %.0f ref-s\n", work.Mean())
+	fmt.Printf("  inter-arrival  mean %.0f s (lambda %.3e)\n", inter.Mean(), 1/inter.Mean())
+	fmt.Printf("  granularities  %d distinct\n", len(grans))
+	return nil
+}
+
+func availStats(events []grid.AvailEvent) error {
+	machines := map[int]bool{}
+	fails, repairs := 0, 0
+	for _, e := range events {
+		machines[e.Machine] = true
+		if e.Up {
+			repairs++
+		} else {
+			fails++
+		}
+	}
+	last := events[len(events)-1].Time
+	fmt.Printf("availability trace: %d events over %.0f s\n", len(events), last)
+	fmt.Printf("  machines  %d\n", len(machines))
+	fmt.Printf("  failures  %d  repairs %d\n", fails, repairs)
+	fmt.Printf("  MTBF est. %.0f s per machine\n", last*float64(len(machines))/float64(fails))
+	return nil
+}
+
+func parseAvail(s string) (grid.Availability, error) {
+	switch strings.ToLower(s) {
+	case "high":
+		return grid.HighAvail, nil
+	case "med", "medium":
+		return grid.MedAvail, nil
+	case "low":
+		return grid.LowAvail, nil
+	}
+	return 0, fmt.Errorf("unknown availability %q", s)
+}
+
+func parseDist(s string) (workload.TaskDist, error) {
+	switch strings.ToLower(s) {
+	case "uniform":
+		return workload.UniformDist, nil
+	case "weibull":
+		return workload.WeibullDist, nil
+	case "lognormal":
+		return workload.LognormalDist, nil
+	}
+	return 0, fmt.Errorf("unknown distribution %q", s)
+}
+
+func withOutput(path string, fn func(*os.File) error) error {
+	if path == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

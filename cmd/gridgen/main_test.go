@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"botgrid/internal/grid"
+	"botgrid/internal/workload"
+)
+
+func TestParseAvail(t *testing.T) {
+	cases := map[string]grid.Availability{
+		"high": grid.HighAvail, "MED": grid.MedAvail, "medium": grid.MedAvail, "low": grid.LowAvail,
+	}
+	for in, want := range cases {
+		got, err := parseAvail(in)
+		if err != nil || got != want {
+			t.Fatalf("parseAvail(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAvail("sometimes"); err == nil {
+		t.Fatal("accepted unknown availability")
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	cases := map[string]workload.TaskDist{
+		"uniform": workload.UniformDist, "Weibull": workload.WeibullDist, "lognormal": workload.LognormalDist,
+	}
+	for in, want := range cases {
+		got, err := parseDist(in)
+		if err != nil || got != want {
+			t.Fatalf("parseDist(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseDist("pareto"); err == nil {
+		t.Fatal("accepted unknown distribution")
+	}
+}
+
+func TestGenerateAndStatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	wl := filepath.Join(dir, "wl.jsonl")
+	if err := cmdWorkload([]string{"-gran", "5000", "-bots", "10", "-appsize", "50000", "-o", wl}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bots, err := workload.ReadTrace(f)
+	f.Close()
+	if err != nil || len(bots) != 10 {
+		t.Fatalf("generated trace invalid: %d bots, %v", len(bots), err)
+	}
+	if err := cmdStats([]string{wl}); err != nil {
+		t.Fatalf("stats on workload trace: %v", err)
+	}
+
+	av := filepath.Join(dir, "av.jsonl")
+	if err := cmdAvail([]string{"-grid", "hom", "-avail", "low", "-power", "100",
+		"-horizon", "50000", "-o", av}); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(av)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := grid.ReadAvailTrace(f2)
+	f2.Close()
+	if err != nil || len(events) == 0 {
+		t.Fatalf("generated availability trace invalid: %d events, %v", len(events), err)
+	}
+	if err := cmdStats([]string{av}); err != nil {
+		t.Fatalf("stats on availability trace: %v", err)
+	}
+}
+
+func TestStatsRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{bad}); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+	if err := cmdStats(nil); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := cmdStats([]string{filepath.Join(dir, "absent")}); err == nil {
+		t.Fatal("absent file accepted")
+	}
+}
+
+func TestCmdWorkloadBadFlags(t *testing.T) {
+	if err := cmdWorkload([]string{"-avail", "bogus"}); err == nil {
+		t.Fatal("bad availability accepted")
+	}
+	if err := cmdWorkload([]string{"-dist", "bogus"}); err == nil {
+		t.Fatal("bad distribution accepted")
+	}
+	if err := cmdAvail([]string{"-grid", "bogus"}); err == nil {
+		t.Fatal("bad grid kind accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Command report prints the derived experiment parameters: the Desktop
+// Grid configuration table (experiment T1, paper §4.1) and the workload /
+// arrival-rate table (experiment T2, paper §4.2).
+//
+// Examples:
+//
+//	report -table configs
+//	report -table workloads -scale 0.1
+//	report -table all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"botgrid/internal/experiment"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", "which table: configs|workloads|analysis|all")
+		seed  = flag.Uint64("seed", 42, "seed for grid instantiation")
+		scale = flag.Float64("scale", 1, "grid/application scale factor (0,1]")
+	)
+	flag.Parse()
+
+	switch *table {
+	case "configs", "workloads", "analysis", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "report: unknown table %q (configs|workloads|analysis|all)\n", *table)
+		os.Exit(2)
+	}
+
+	if *table == "configs" || *table == "all" {
+		fmt.Println("T1 — Desktop Grid configurations (§4.1)")
+		rows := experiment.ConfigTable(*seed, *scale)
+		if err := experiment.WriteConfigTable(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *table == "workloads" || *table == "all" {
+		fmt.Println("T2 — workloads and arrival rates from U = λ·D (§4.2, Eq. 1)")
+		rows := experiment.WorkloadTable(*scale)
+		if err := experiment.WriteWorkloadTable(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *table == "analysis" || *table == "all" {
+		fmt.Println("T3 — operational analysis (demands, saturation points, M/G/1 waits)")
+		rows := experiment.AnalysisTable(*scale)
+		if err := experiment.WriteAnalysisTable(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,292 @@
+// Command sweep regenerates the paper's evaluation: every panel of
+// Figures 1 and 2 (plus the MedAvail panels described in prose) and the
+// ablation studies listed in DESIGN.md.
+//
+// Examples:
+//
+//	sweep -figure F1a                 # one panel at paper scale
+//	sweep -figure all -quick          # all panels, 10×-scaled quick mode
+//	sweep -ablation threshold         # the A1 replication-threshold sweep
+//	sweep -figure F2c -chart          # ASCII bar chart instead of a table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/experiment"
+)
+
+func main() {
+	var (
+		figureID = flag.String("figure", "", "figure ID (F1a..F2d, FMa..FMd), comma list, or 'all'")
+		ablation = flag.String("ablation", "", "ablation study: threshold|dynrep|ckpt|machsel|taskorder|servercap|taskdist|diurnal|suspend|arch|mixed|all")
+		quick    = flag.Bool("quick", false, "10×-scaled quick mode (small grid, loose CIs)")
+		chart    = flag.Bool("chart", false, "render ASCII bar charts instead of tables")
+		format   = flag.String("format", "", "output format: table|chart|csv|json (overrides -chart)")
+		svgDir   = flag.String("svg", "", "also write one SVG figure per panel into this directory")
+		summary  = flag.Bool("summary", false, "also print per-granularity winners")
+		signif   = flag.Bool("significance", false, "also print pairwise Welch t-test matrices")
+		outFile  = flag.String("out", "", "save figure results to this JSON file")
+		loadFile = flag.String("load", "", "render previously saved results instead of running")
+		score    = flag.Bool("scoreboard", false, "also print the cross-figure wins scoreboard")
+		seed     = flag.Uint64("seed", 42, "base random seed")
+		bots     = flag.Int("bots", 0, "override BoT arrivals per replication")
+		warmup   = flag.Int("warmup", -1, "override warmup completions to discard")
+		minReps  = flag.Int("minreps", 0, "override minimum replications per cell")
+		maxReps  = flag.Int("maxreps", 0, "override maximum replications per cell")
+		relErr   = flag.Float64("relerr", 0, "override CI relative-error target")
+		scale    = flag.Float64("scale", 0, "override grid/application scale factor (0,1]")
+		policies = flag.String("policies", "", "comma list of policies (default: the paper's five)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *figureID == "" && *ablation == "" && *loadFile == "" {
+		fmt.Fprintln(os.Stderr, "sweep: specify -figure, -ablation or -load (see -h)")
+		os.Exit(2)
+	}
+
+	opts := experiment.DefaultOptions(*seed)
+	if *quick {
+		opts = experiment.QuickOptions(*seed)
+	}
+	if *bots > 0 {
+		opts.NumBoTs = *bots
+	}
+	if *warmup >= 0 {
+		opts.Warmup = *warmup
+	}
+	if *minReps > 0 {
+		opts.MinReps = *minReps
+	}
+	if *maxReps > 0 {
+		opts.MaxReps = *maxReps
+	}
+	if *relErr > 0 {
+		opts.RelErr = *relErr
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *parallel > 0 {
+		opts.Parallelism = *parallel
+	}
+	if *policies != "" {
+		opts.Policies = nil
+		for _, name := range strings.Split(*policies, ",") {
+			k, err := core.ParsePolicy(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Policies = append(opts.Policies, k)
+		}
+	}
+
+	outFormat := *format
+	if outFormat == "" {
+		if *chart {
+			outFormat = "chart"
+		} else {
+			outFormat = "table"
+		}
+	}
+	switch outFormat {
+	case "table", "chart", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (table|chart|csv|json)", outFormat))
+	}
+
+	if *loadFile != "" {
+		results := loadResults(*loadFile)
+		for _, id := range experiment.SortedIDs(results) {
+			renderFigure(results[id], outFormat, *summary, *signif, *svgDir)
+		}
+		if *score {
+			printScoreboard(results)
+		}
+	}
+	if *figureID != "" {
+		results := runFigures(*figureID, opts, outFormat, *summary, *signif, *svgDir)
+		if *outFile != "" {
+			saveResults(*outFile, results)
+		}
+		if *score {
+			printScoreboard(results)
+		}
+	}
+	if *ablation != "" {
+		runAblations(*ablation, opts)
+	}
+}
+
+func printScoreboard(results map[string]*experiment.FigureResult) {
+	if err := experiment.WriteScoreboard(os.Stdout, experiment.Scoreboard(results)); err != nil {
+		fatal(err)
+	}
+}
+
+func loadResults(path string) map[string]*experiment.FigureResult {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	results, err := experiment.LoadResults(f)
+	if err != nil {
+		fatal(err)
+	}
+	return results
+}
+
+func saveResults(path string, results map[string]*experiment.FigureResult) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := experiment.SaveResults(f, results); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saved %d figure results to %s\n", len(results), path)
+}
+
+func runFigures(spec string, opts experiment.Options, format string, summary, signif bool, svgDir string) map[string]*experiment.FigureResult {
+	var figs []experiment.Figure
+	if spec == "all" {
+		figs = experiment.Figures
+	} else {
+		for _, id := range strings.Split(spec, ",") {
+			f, err := experiment.FigureByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			figs = append(figs, f)
+		}
+	}
+	results := make(map[string]*experiment.FigureResult, len(figs))
+	for _, f := range figs {
+		start := time.Now()
+		fr, err := experiment.RunFigure(f, opts)
+		if err != nil {
+			fatal(err)
+		}
+		results[f.ID] = fr
+		renderFigure(fr, format, summary, signif, svgDir)
+		if format == "table" || format == "chart" {
+			fmt.Printf("(%s in %.1fs)\n\n", f.ID, time.Since(start).Seconds())
+		}
+	}
+	return results
+}
+
+func renderFigure(fr *experiment.FigureResult, format string, summary, signif bool, svgDir string) {
+	var err error
+	switch format {
+	case "chart":
+		err = fr.WriteChart(os.Stdout)
+	case "csv":
+		err = fr.WriteCSV(os.Stdout)
+	case "json":
+		err = fr.WriteJSON(os.Stdout)
+	default:
+		err = fr.WriteTable(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if summary {
+		if err := fr.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if signif {
+		if err := fr.WriteSignificance(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if svgDir != "" {
+		if err := writeSVG(svgDir, fr.Figure.ID, fr); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeSVG(dir, id string, fr *experiment.FigureResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fr.WriteSVG(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func runAblations(spec string, opts experiment.Options) {
+	type study struct {
+		name string
+		run  func(experiment.Options) (*experiment.AblationResult, error)
+	}
+	studies := []study{
+		{"threshold", experiment.AblationThreshold},
+		{"dynrep", experiment.AblationDynamicReplication},
+		{"ckpt", experiment.AblationCheckpointing},
+		{"machsel", experiment.AblationMachineSelection},
+		{"taskorder", experiment.AblationTaskOrder},
+		{"servercap", experiment.AblationServerCapacity},
+		{"taskdist", experiment.AblationTaskDistribution},
+		{"diurnal", experiment.AblationDiurnal},
+		{"suspend", experiment.AblationSuspend},
+		{"arch", experiment.AblationArchitecture},
+	}
+	want := map[string]bool{}
+	for _, s := range strings.Split(spec, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	ran := false
+	for _, s := range studies {
+		if !want["all"] && !want[s.name] {
+			continue
+		}
+		ran = true
+		ar, err := s.run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ar.WriteTable(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if want["all"] || want["mixed"] {
+		ran = true
+		rows, err := experiment.MixedWorkloadStudy(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiment.WriteMixedTable(os.Stdout, opts, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown ablation %q (threshold|dynrep|ckpt|machsel|taskorder|servercap|taskdist|diurnal|suspend|arch|mixed|all)", spec))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

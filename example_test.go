@@ -1,0 +1,50 @@
+package botgrid_test
+
+import (
+	"fmt"
+
+	"botgrid"
+)
+
+// Simulating one scenario end to end with the public facade.
+func ExampleRun() {
+	cfg := botgrid.NewRunConfig(botgrid.Hom, botgrid.AlwaysUp, botgrid.FCFSShare,
+		1000, botgrid.LowIntensity)
+	cfg.NumBoTs = 5
+	cfg.Warmup = 0
+	res, err := botgrid.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("saturated:", res.Saturated)
+	// Output:
+	// completed: 5
+	// saturated: false
+}
+
+// Replaying an explicit BoT trace gives bit-exact reproducibility across
+// scheduler configurations.
+func ExampleRunConfig_trace() {
+	cfg := botgrid.NewRunConfig(botgrid.Hom, botgrid.AlwaysUp, botgrid.RR, 1000, 0.5)
+	cfg.Bots = []*botgrid.BoT{
+		{ID: 0, Arrival: 0, Granularity: 1000, TaskWork: []float64{1000, 2000}},
+		{ID: 1, Arrival: 10, Granularity: 1000, TaskWork: []float64{500}},
+	}
+	cfg.Warmup = 0
+	res, _ := botgrid.Run(cfg)
+	for _, b := range res.Bags {
+		fmt.Printf("bag %d turnaround %.0f\n", b.ID, b.Turnaround)
+	}
+	// Output:
+	// bag 1 turnaround 50
+	// bag 0 turnaround 200
+}
+
+func ExampleParsePolicy() {
+	p, _ := botgrid.ParsePolicy("LongIdle")
+	fmt.Println(p)
+	// Output:
+	// LongIdle
+}

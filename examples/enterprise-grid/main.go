@@ -1,0 +1,50 @@
+// Enterprise grid: the paper's high-availability scenario (§4.3,
+// "high-availability configurations can be assimilated to Enterprise
+// Desktop Grids"). This example compares all five knowledge-free policies
+// on a stable 98 %-availability grid for a small and a large task
+// granularity, showing the ranking reversal the paper reports: FCFS-based
+// policies win for fine-grained bags, RR-based for coarse-grained ones.
+//
+// Run with:
+//
+//	go run ./examples/enterprise-grid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"botgrid"
+)
+
+func main() {
+	fmt.Println("Enterprise Desktop Grid (Hom-HighAvail, U = 0.75)")
+	fmt.Println()
+	for _, gran := range []float64{1000, 125000} {
+		fmt.Printf("task granularity %.0f s (%.0f tasks per bag):\n",
+			gran, 2.5e6/gran)
+		for _, pol := range botgrid.PaperPolicies {
+			cfg := botgrid.NewRunConfig(botgrid.Hom, botgrid.HighAvail, pol,
+				gran, botgrid.MediumIntensity)
+			cfg.Seed = 7
+			cfg.NumBoTs = 40
+			cfg.Warmup = 8
+			res, err := botgrid.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Saturated {
+				fmt.Printf("  %-10s SATURATED (completed %d/%d)\n",
+					pol, res.Completed, cfg.NumBoTs)
+				continue
+			}
+			fmt.Printf("  %-10s mean turnaround %8.0f s  (replicas/task %.2f)\n",
+				pol, res.MeanTurnaround(),
+				float64(res.ReplicasStarted)/float64(res.TasksCompleted))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note the reversal: FCFS-based policies dominate at 1000 s granularity,")
+	fmt.Println("while exclusive FCFS collapses at 125000 s where bags hold only 20 tasks")
+	fmt.Println("and hoarding all 100 machines for useless replicas starves the queue.")
+}

@@ -1,0 +1,62 @@
+// Mixed workload: the paper's first future-work direction — "workloads in
+// which BoT of different types (i.e., characterized by different task
+// granularities) will simultaneously be submitted to the scheduler". This
+// example submits all four BoT types at once on a heterogeneous grid and
+// compares how each policy treats each class, exposing the per-class
+// fairness trade-off: round-robin's bag-granularity sharing penalizes
+// many-task (fine-grained) bags that need many machine slots to finish,
+// while FCFS-Share and LongIdle drain them quickly at the expense of the
+// coarse-grained classes.
+//
+// Run with:
+//
+//	go run ./examples/mixed-workload
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"botgrid"
+)
+
+func main() {
+	fmt.Println("Mixed-granularity workload on Het-MedAvail (U = 0.75)")
+	fmt.Println()
+	for _, pol := range []botgrid.Policy{botgrid.FCFSShare, botgrid.RR, botgrid.LongIdle} {
+		cfg := botgrid.NewRunConfig(botgrid.Het, botgrid.MedAvail, pol,
+			1000, botgrid.MediumIntensity)
+		cfg.Workload.Granularities = botgrid.DefaultGranularities
+		cfg.Seed = 5
+		cfg.NumBoTs = 60
+		cfg.Warmup = 10
+		res, err := botgrid.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		perGran := map[float64][]float64{}
+		for _, b := range res.Bags {
+			perGran[b.Granularity] = append(perGran[b.Granularity], b.Turnaround)
+		}
+		grans := make([]float64, 0, len(perGran))
+		for g := range perGran {
+			grans = append(grans, g)
+		}
+		sort.Float64s(grans)
+
+		fmt.Printf("%s (overall mean %.0f s, saturated=%v):\n",
+			pol, res.MeanTurnaround(), res.Saturated)
+		for _, g := range grans {
+			ts := perGran[g]
+			sum := 0.0
+			for _, x := range ts {
+				sum += x
+			}
+			fmt.Printf("  granularity %-7.0f %2d bags  mean turnaround %8.0f s\n",
+				g, len(ts), sum/float64(len(ts)))
+		}
+		fmt.Println()
+	}
+}

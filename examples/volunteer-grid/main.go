@@ -1,0 +1,68 @@
+// Volunteer grid: the paper's low-availability scenario (§4.3,
+// "low-availability configurations can be assimilated to volunteer-
+// computing Desktop Grids, where hosts come and go unpredictably"). This
+// example runs coarse-grained bags on a 50 %-availability grid and uses a
+// trace recorder to show WQR-FT's fault tolerance at work: machine
+// failures killing replicas, checkpoint saves bounding the lost work, and
+// resubmitted tasks resuming from the checkpoint server.
+//
+// Run with:
+//
+//	go run ./examples/volunteer-grid
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"botgrid"
+)
+
+func main() {
+	rec := botgrid.NewTraceRecorder(0)
+	cfg := botgrid.NewRunConfig(botgrid.Het, botgrid.LowAvail, botgrid.RR,
+		25000, botgrid.LowIntensity)
+	cfg.Seed = 11
+	cfg.NumBoTs = 15
+	cfg.Warmup = 3
+	cfg.Observer = rec
+
+	res, err := botgrid.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("volunteer grid %s: %d bags completed, %.0f s mean turnaround\n",
+		cfg.Grid.Name(), res.Completed, res.MeanTurnaround())
+	fmt.Printf("fault tolerance: %d replicas lost to failures, %d checkpoint saves, %d retrievals\n\n",
+		res.ReplicaFailures, res.CheckpointSaves, res.CheckpointRetrieves)
+
+	counts := rec.CountByKind()
+	fmt.Println("event counts:")
+	for _, k := range []string{"machine-failed", "machine-repaired", "replica-started",
+		"replica-failed", "checkpoint-saved", "task-completed", "bag-completed"} {
+		fmt.Printf("  %-18s %d\n", k, countFor(counts, k))
+	}
+
+	// Print the first failure-recovery episode from the trace: a replica
+	// failure followed by its restart.
+	fmt.Println("\nfirst failure-recovery episodes from the trace:")
+	shown := 0
+	for _, e := range rec.Events() {
+		if e.Kind == "replica-failed" || (e.Kind == "replica-started" && e.Detail == "restart") ||
+			e.Kind == "checkpoint-saved" {
+			fmt.Println(" ", e)
+			shown++
+			if shown >= 12 {
+				break
+			}
+		}
+	}
+	if shown == 0 {
+		fmt.Fprintln(os.Stderr, "no failures observed (unexpected under LowAvail)")
+		os.Exit(1)
+	}
+}
+
+func countFor[K ~string](m map[K]int, k string) int { return m[K(k)] }

@@ -1,0 +1,3 @@
+module botgrid
+
+go 1.22

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/rng"
+	"botgrid/internal/stats"
+	"botgrid/internal/workload"
+)
+
+// TestMG1PredictsFCFSExclWaiting cross-validates the simulator against
+// queueing theory: FCFS-Excl dedicates the whole grid to one bag at a
+// time, which is *exactly* an M/G/1 queue whose service times are bag
+// makespans. The simulated mean waiting time must match the
+// Pollaczek-Khinchine formula computed from the measured service moments.
+func TestMG1PredictsFCFSExclWaiting(t *testing.T) {
+	gc := grid.DefaultConfig(grid.Hom, grid.AlwaysUp)
+	gc.TotalPower = 100
+	cc := checkpoint.Config{Enabled: false, TransferLo: 240, TransferHi: 720}
+	appSize := 20000.0
+	lambda := 0.7 * 100 / appSize // U = 0.7
+	res, err := core.Run(core.RunConfig{
+		Seed: 12,
+		Grid: gc,
+		Workload: workload.Config{
+			Granularities: []float64{200}, // 100 tasks per bag on 10 machines
+			AppSize:       appSize,
+			Spread:        0.5,
+			Lambda:        lambda,
+		},
+		Policy:     core.FCFSExcl,
+		Checkpoint: cc,
+		NumBoTs:    600,
+		Warmup:     60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Fatal("validation run saturated")
+	}
+	var service, waiting stats.Accumulator
+	for _, b := range res.Bags {
+		service.Add(b.Makespan)
+		waiting.Add(b.Waiting)
+	}
+	s := service.Mean()
+	scv := service.Variance() / (s * s)
+	predicted, err := MG1Wait(lambda, s, scv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waiting.Mean()
+	if math.Abs(got-predicted)/predicted > 0.30 {
+		t.Fatalf("simulated waiting %v vs P-K prediction %v (ρ=%.2f, S=%.0f, cv²=%.3f)",
+			got, predicted, lambda*s, s, scv)
+	}
+}
+
+// TestMakespanNeverBeatsLowerBound checks the area/critical-path bound on
+// every completed bag of a failure-prone heterogeneous run.
+func TestMakespanNeverBeatsLowerBound(t *testing.T) {
+	gc := grid.DefaultConfig(grid.Het, grid.MedAvail)
+	gc.TotalPower = 100
+	cc := checkpoint.DefaultConfig()
+	lambda := workload.LambdaForUtilization(0.5, 20000, core.EffectivePower(gc, cc))
+
+	byID := map[int][]float64{}
+	obs := &bagCapture{byID: byID}
+	res, err := core.Run(core.RunConfig{
+		Seed: 13,
+		Grid: gc,
+		Workload: workload.Config{
+			Granularities: []float64{2000},
+			AppSize:       20000,
+			Spread:        0.5,
+			Lambda:        lambda,
+		},
+		Policy:     core.RR,
+		Checkpoint: cc,
+		NumBoTs:    40,
+		Warmup:     0,
+		Observer:   obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the identical machine population (same seed and stream
+	// name as core.Run uses).
+	g := grid.Build(gc, rng.Root(13, "grid-build"))
+	powers := make([]float64, g.NumMachines())
+	for i, m := range g.Machines {
+		powers[i] = m.Power
+	}
+	checked := 0
+	for _, b := range res.Bags {
+		works, ok := byID[b.ID]
+		if !ok {
+			continue
+		}
+		lb := MakespanLowerBound(works, powers)
+		if b.Makespan < lb-1e-9 {
+			t.Fatalf("bag %d makespan %v beats lower bound %v", b.ID, b.Makespan, lb)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d bags checked", checked)
+	}
+}
+
+type bagCapture struct {
+	core.NopObserver
+	byID map[int][]float64
+}
+
+func (b *bagCapture) BagSubmitted(_ float64, bag *core.Bag) {
+	works := make([]float64, len(bag.Tasks))
+	for i, task := range bag.Tasks {
+		works[i] = task.Work
+	}
+	b.byID[bag.ID] = works
+}

@@ -1,0 +1,128 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"botgrid/internal/rng"
+)
+
+func TestYoungInterval(t *testing.T) {
+	// τ = sqrt(2·480·88200) ≈ 9203 s for the HighAvail MTBF.
+	got := YoungInterval(480, 88200)
+	want := math.Sqrt(2 * 480 * 88200)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("YoungInterval = %v, want %v", got, want)
+	}
+	if !math.IsInf(YoungInterval(480, math.Inf(1)), 1) {
+		t.Fatal("infinite MTBF should give infinite interval")
+	}
+}
+
+func TestYoungIntervalOrdering(t *testing.T) {
+	// Lower availability (smaller MTBF) must checkpoint more often.
+	high := YoungInterval(480, 88200)
+	med := YoungInterval(480, 5400)
+	low := YoungInterval(480, 1800)
+	if !(low < med && med < high) {
+		t.Fatalf("intervals not ordered: %v %v %v", low, med, high)
+	}
+}
+
+func TestYoungPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive cost")
+		}
+	}()
+	YoungInterval(0, 1000)
+}
+
+func TestOverheadFactor(t *testing.T) {
+	if got := OverheadFactor(math.Inf(1), 480); got != 1 {
+		t.Fatalf("infinite interval overhead = %v, want 1", got)
+	}
+	if got := OverheadFactor(4800, 480); math.Abs(got-4800.0/5280.0) > 1e-12 {
+		t.Fatalf("overhead = %v, want %v", got, 4800.0/5280.0)
+	}
+	// More frequent checkpoints waste more time.
+	if !(OverheadFactor(1000, 480) < OverheadFactor(10000, 480)) {
+		t.Fatal("overhead factor should increase with interval")
+	}
+}
+
+func TestOverheadFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive interval")
+		}
+	}()
+	OverheadFactor(0, 480)
+}
+
+func TestServerTransfers(t *testing.T) {
+	s := NewServer(DefaultConfig(), rng.New(1))
+	var sum float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		x := s.SaveTime()
+		if x < 240 || x >= 720 {
+			t.Fatalf("save time %v outside [240,720)", x)
+		}
+		sum += x
+		y := s.RetrieveTime()
+		if y < 240 || y >= 720 {
+			t.Fatalf("retrieve time %v outside [240,720)", y)
+		}
+	}
+	if mean := sum / float64(n); math.Abs(mean-480) > 3 {
+		t.Fatalf("mean save time = %v, want ≈480", mean)
+	}
+	saves, retrieves := s.Stats()
+	if saves != n || retrieves != n {
+		t.Fatalf("stats = %d/%d, want %d/%d", saves, retrieves, n, n)
+	}
+}
+
+func TestServerInterval(t *testing.T) {
+	s := NewServer(DefaultConfig(), rng.New(2))
+	got := s.Interval(1800)
+	want := math.Sqrt(2 * 480 * 1800)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Interval = %v, want %v", got, want)
+	}
+	disabled := NewServer(Config{Enabled: false, TransferLo: 240, TransferHi: 720}, rng.New(3))
+	if !math.IsInf(disabled.Interval(1800), 1) {
+		t.Fatal("disabled server should never checkpoint")
+	}
+	if disabled.Enabled() {
+		t.Fatal("Enabled should be false")
+	}
+}
+
+func TestMeanTransfer(t *testing.T) {
+	if got := DefaultConfig().MeanTransfer(); got != 480 {
+		t.Fatalf("MeanTransfer = %v, want 480", got)
+	}
+}
+
+func TestInvalidServerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted bounds")
+		}
+	}()
+	NewServer(Config{Enabled: true, TransferLo: 720, TransferHi: 240}, rng.New(4))
+}
+
+func TestQuickYoungMonotonicInMTBF(t *testing.T) {
+	f := func(a, b uint32) bool {
+		m1 := float64(a%100000) + 1
+		m2 := m1 + float64(b%100000) + 1
+		return YoungInterval(480, m1) <= YoungInterval(480, m2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

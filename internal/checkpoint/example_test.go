@@ -1,0 +1,21 @@
+package checkpoint_test
+
+import (
+	"fmt"
+
+	"botgrid/internal/checkpoint"
+)
+
+// Young's first-order optimal checkpoint interval for the paper's three
+// availability levels (checkpoint cost = the 480 s mean transfer).
+func ExampleYoungInterval() {
+	for _, mtbf := range []float64{88200, 5400, 1800} {
+		tau := checkpoint.YoungInterval(480, mtbf)
+		fmt.Printf("MTBF %6.0f s -> checkpoint every %.0f s (overhead factor %.3f)\n",
+			mtbf, tau, checkpoint.OverheadFactor(tau, 480))
+	}
+	// Output:
+	// MTBF  88200 s -> checkpoint every 9202 s (overhead factor 0.950)
+	// MTBF   5400 s -> checkpoint every 2277 s (overhead factor 0.826)
+	// MTBF   1800 s -> checkpoint every 1315 s (overhead factor 0.733)
+}

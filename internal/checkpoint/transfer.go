@@ -1,0 +1,109 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"botgrid/internal/des"
+)
+
+// Transfer is one in-flight or queued checkpoint transfer. Handles are
+// cancellable because the requesting replica may be killed (machine
+// failure, sibling completion) while the transfer waits or runs.
+type Transfer struct {
+	srv       *Server
+	duration  float64
+	done      func()
+	ev        *des.Event
+	started   bool
+	cancelled bool
+	finished  bool
+}
+
+// Pending reports whether the transfer is queued or running.
+func (t *Transfer) Pending() bool { return t != nil && !t.cancelled && !t.finished }
+
+// Started reports whether the transfer has begun moving data (it may have
+// finished since).
+func (t *Transfer) Started() bool { return t != nil && t.started }
+
+// StartTransfer requests a transfer of the given duration on the server,
+// invoking done when it completes. With Capacity == 0 (the paper's
+// no-contention idealization) the transfer begins immediately; otherwise
+// at most Capacity transfers run concurrently and excess requests wait in
+// FIFO order. The returned handle cancels the transfer if needed.
+func (s *Server) StartTransfer(e *des.Engine, duration float64, done func()) *Transfer {
+	if duration < 0 {
+		panic(fmt.Sprintf("checkpoint: negative transfer duration %v", duration))
+	}
+	t := &Transfer{srv: s, duration: duration, done: done}
+	if s.cfg.Capacity <= 0 || s.active < s.cfg.Capacity {
+		t.begin(e)
+	} else {
+		s.queue = append(s.queue, t)
+		s.maxQueue = max(s.maxQueue, len(s.queue))
+	}
+	return t
+}
+
+func (t *Transfer) begin(e *des.Engine) {
+	t.started = true
+	t.srv.active++
+	t.ev = e.Schedule(t.duration, func(e *des.Engine) {
+		t.finished = true
+		t.srv.active--
+		t.srv.drain(e)
+		t.done()
+	})
+}
+
+// Cancel aborts a queued or running transfer; done is never invoked.
+// Cancelling a finished or already-cancelled transfer is a no-op.
+func (t *Transfer) Cancel(e *des.Engine) {
+	if t == nil || t.cancelled || t.finished {
+		return
+	}
+	t.cancelled = true
+	if t.started {
+		e.Cancel(t.ev)
+		t.srv.active--
+		t.srv.drain(e)
+	}
+	// Queued entries are skipped lazily by drain.
+}
+
+// drain starts queued transfers while capacity is available.
+func (s *Server) drain(e *des.Engine) {
+	for (s.cfg.Capacity <= 0 || s.active < s.cfg.Capacity) && len(s.queue) > 0 {
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		if t.cancelled {
+			continue
+		}
+		t.begin(e)
+	}
+}
+
+// Active returns the number of transfers currently moving data.
+func (s *Server) Active() int { return s.active }
+
+// Queued returns the number of transfers waiting for a slot.
+func (s *Server) Queued() int {
+	n := 0
+	for _, t := range s.queue {
+		if !t.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxQueue returns the high-water mark of the wait queue, a contention
+// indicator for the A7 ablation.
+func (s *Server) MaxQueue() int { return s.maxQueue }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

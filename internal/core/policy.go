@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"botgrid/internal/rng"
+)
+
+// Policy is a bag-selection policy: it chooses, among the active bags, the
+// one from which the next task (or replica) will be dispatched. All the
+// paper's policies are knowledge-free — they inspect only queue state, never
+// machine speeds or task durations; SJF-KB is the deliberate knowledge-based
+// exception used as a baseline.
+type Policy interface {
+	// Name returns the policy's display name.
+	Name() string
+	// SelectBag returns the bag to serve next under the given replication
+	// threshold, or nil when no bag can use another machine.
+	SelectBag(s *Scheduler, threshold int) *Bag
+	// Threshold maps the configured replication threshold to the
+	// policy's effective one (FCFS-Excl raises it to "unlimited").
+	Threshold(base int) int
+}
+
+// PolicyKind identifies a bag-selection policy.
+type PolicyKind int
+
+const (
+	// FCFSExcl is First Come First Served - Exclusive: the whole grid is
+	// dedicated to the oldest incomplete bag, with unlimited replication.
+	FCFSExcl PolicyKind = iota
+	// FCFSShare is First Come First Served - Shared: machines flow to
+	// the next bag in arrival order once earlier bags have no pending
+	// (replica-less) task.
+	FCFSShare
+	// RR is Round Robin over the bag queues in fixed circular order.
+	RR
+	// RRNRF is Round Robin - No Replica First: bags with no running task
+	// instance are served before the circular order resumes.
+	RRNRF
+	// LongIdle serves the bag holding the task with the largest
+	// accumulated replica-less waiting time.
+	LongIdle
+	// Random picks uniformly among schedulable bags (extension; the
+	// paper notes RR is equivalent in distribution to random selection).
+	Random
+	// FairShare serves the schedulable bag holding the fewest running
+	// replicas (extension).
+	FairShare
+	// SJFKB serves the schedulable bag with the least remaining work — a
+	// knowledge-based baseline (extension; cf. the paper's future work).
+	SJFKB
+)
+
+// Kinds lists every built-in policy kind; the first five are the paper's.
+var Kinds = []PolicyKind{FCFSExcl, FCFSShare, RR, RRNRF, LongIdle, Random, FairShare, SJFKB}
+
+// PaperKinds lists the five policies evaluated in the paper, in the order
+// the figures present them.
+var PaperKinds = []PolicyKind{FCFSExcl, FCFSShare, RR, RRNRF, LongIdle}
+
+// String returns the paper's name for the policy.
+func (k PolicyKind) String() string {
+	switch k {
+	case FCFSExcl:
+		return "FCFS-Excl"
+	case FCFSShare:
+		return "FCFS-Share"
+	case RR:
+		return "RR"
+	case RRNRF:
+		return "RR-NRF"
+	case LongIdle:
+		return "LongIdle"
+	case Random:
+		return "Random"
+	case FairShare:
+		return "FairShare"
+	case SJFKB:
+		return "SJF-KB"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// ParsePolicy maps a policy name (as produced by String) back to its kind.
+func ParsePolicy(name string) (PolicyKind, error) {
+	for _, k := range Kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", name)
+}
+
+// NewPolicy instantiates a policy. The stream is consumed only by Random;
+// it may be nil for the deterministic policies.
+func NewPolicy(k PolicyKind, str *rng.Stream) Policy {
+	switch k {
+	case FCFSExcl:
+		return fcfsExcl{}
+	case FCFSShare:
+		return fcfsShare{}
+	case RR:
+		return &roundRobin{lastID: -1}
+	case RRNRF:
+		return &roundRobin{noReplicaFirst: true, lastID: -1}
+	case LongIdle:
+		return longIdle{}
+	case Random:
+		if str == nil {
+			panic("core: Random policy needs a stream")
+		}
+		return &randomPolicy{str: str}
+	case FairShare:
+		return fairShare{}
+	case SJFKB:
+		return sjfKB{}
+	default:
+		panic(fmt.Sprintf("core: unknown policy kind %d", int(k)))
+	}
+}
+
+// fcfsExcl dedicates the grid to the oldest incomplete bag. Its unlimited
+// replication threshold makes that bag schedulable until completion, so no
+// machine is ever yielded to a younger bag.
+type fcfsExcl struct{}
+
+func (fcfsExcl) Name() string { return FCFSExcl.String() }
+
+func (fcfsExcl) Threshold(int) int { return math.MaxInt }
+
+func (fcfsExcl) SelectBag(s *Scheduler, threshold int) *Bag {
+	if len(s.bags) == 0 {
+		return nil
+	}
+	if b := s.bags[0]; b.Schedulable(threshold) {
+		return b
+	}
+	return nil
+}
+
+// fcfsShare applies strict FCFS priority among bags: a machine flows to a
+// younger bag only when WQR-FT cannot use it for any older bag — neither a
+// pending task nor a replica below the threshold ("FCFS-based strategies
+// use the exceeding machines to create many replicas for the tasks of the
+// same BoT (the oldest one)", §4.3). Within the selected bag WQR-FT still
+// serves pending tasks before replicating, and failed-task resubmissions
+// sit at the front of their bag's queue, so an older bag's restart replica
+// automatically precedes younger bags' work.
+type fcfsShare struct{}
+
+func (fcfsShare) Name() string { return FCFSShare.String() }
+
+func (fcfsShare) Threshold(base int) int { return base }
+
+func (fcfsShare) SelectBag(s *Scheduler, threshold int) *Bag {
+	for _, b := range s.bags {
+		if b.Schedulable(threshold) {
+			return b
+		}
+	}
+	return nil
+}
+
+// roundRobin inspects bag queues in fixed circular order; with
+// noReplicaFirst it first serves bags that have no running task instance,
+// suspending the circular order as the paper's RR-NRF prescribes.
+type roundRobin struct {
+	noReplicaFirst bool
+	lastID         int // bag ID served most recently
+}
+
+func (p *roundRobin) Name() string {
+	if p.noReplicaFirst {
+		return RRNRF.String()
+	}
+	return RR.String()
+}
+
+func (p *roundRobin) Threshold(base int) int { return base }
+
+func (p *roundRobin) SelectBag(s *Scheduler, threshold int) *Bag {
+	n := len(s.bags)
+	if n == 0 {
+		return nil
+	}
+	if p.noReplicaFirst {
+		// Serve starved bags (no running instance) first, oldest first.
+		for _, b := range s.bags {
+			if b.running == 0 && b.Schedulable(threshold) {
+				return b
+			}
+		}
+	}
+	// Resume the circular order after the most recently served bag.
+	// Bags are kept in arrival (ID) order, so scan for the first
+	// schedulable bag with ID > lastID, wrapping around.
+	start := 0
+	for i, b := range s.bags {
+		if b.ID > p.lastID {
+			start = i
+			break
+		}
+		if i == n-1 {
+			start = 0 // every bag has ID <= lastID: wrap
+		}
+	}
+	for i := 0; i < n; i++ {
+		b := s.bags[(start+i)%n]
+		if b.Schedulable(threshold) {
+			p.lastID = b.ID
+			return b
+		}
+	}
+	return nil
+}
+
+// longIdle picks the bag whose pending task has waited replica-less the
+// longest; when no pending task exists anywhere it falls back to
+// FCFS-Share's replication order.
+type longIdle struct{}
+
+func (longIdle) Name() string { return LongIdle.String() }
+
+func (longIdle) Threshold(base int) int { return base }
+
+func (longIdle) SelectBag(s *Scheduler, threshold int) *Bag {
+	bestKey := math.Inf(-1)
+	var best *Bag
+	for _, b := range s.bags {
+		key, t := b.maxIdle()
+		if t == nil {
+			continue
+		}
+		// Ties go to the older bag (lower ID), matching the paper's
+		// observation that LongIdle behaves like FCFS-Share while the
+		// oldest bag still has replica-less tasks.
+		if best == nil || key > bestKey {
+			bestKey, best = key, b
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, b := range s.bags {
+		if b.replicable(threshold) != nil {
+			return b
+		}
+	}
+	return nil
+}
+
+// randomPolicy picks uniformly among schedulable bags.
+type randomPolicy struct {
+	str     *rng.Stream
+	scratch []*Bag
+}
+
+func (p *randomPolicy) Name() string { return Random.String() }
+
+func (p *randomPolicy) Threshold(base int) int { return base }
+
+func (p *randomPolicy) SelectBag(s *Scheduler, threshold int) *Bag {
+	p.scratch = p.scratch[:0]
+	for _, b := range s.bags {
+		if b.Schedulable(threshold) {
+			p.scratch = append(p.scratch, b)
+		}
+	}
+	if len(p.scratch) == 0 {
+		return nil
+	}
+	return p.scratch[p.str.IntN(len(p.scratch))]
+}
+
+// fairShare picks the schedulable bag with the fewest running replicas.
+type fairShare struct{}
+
+func (fairShare) Name() string { return FairShare.String() }
+
+func (fairShare) Threshold(base int) int { return base }
+
+func (fairShare) SelectBag(s *Scheduler, threshold int) *Bag {
+	var best *Bag
+	for _, b := range s.bags {
+		if !b.Schedulable(threshold) {
+			continue
+		}
+		if best == nil || b.running < best.running {
+			best = b
+		}
+	}
+	return best
+}
+
+// sjfKB picks the schedulable bag with the least remaining work. It is
+// knowledge-based: remaining work is exactly what a knowledge-free scheduler
+// cannot know.
+type sjfKB struct{}
+
+func (sjfKB) Name() string { return SJFKB.String() }
+
+func (sjfKB) Threshold(base int) int { return base }
+
+func (sjfKB) SelectBag(s *Scheduler, threshold int) *Bag {
+	var best *Bag
+	for _, b := range s.bags {
+		if !b.Schedulable(threshold) {
+			continue
+		}
+		if best == nil || b.RemainingWork() < best.RemainingWork() {
+			best = b
+		}
+	}
+	return best
+}

@@ -1,0 +1,689 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/des"
+	"botgrid/internal/grid"
+)
+
+// ReplicaPhase describes what a running replica is doing.
+type ReplicaPhase int
+
+const (
+	// PhaseRetrieving means the replica is fetching the latest checkpoint
+	// from the checkpoint server before computing.
+	PhaseRetrieving ReplicaPhase = iota
+	// PhaseComputing means the replica is making progress on the task.
+	PhaseComputing
+	// PhaseSaving means the replica is storing a checkpoint.
+	PhaseSaving
+)
+
+// Replica is one running instance of a task on a machine.
+type Replica struct {
+	// Task is the task being executed.
+	Task *Task
+	// Machine hosts the replica.
+	Machine *grid.Machine
+	// Started is when the replica was dispatched.
+	Started float64
+	// Phase is the replica's current activity.
+	Phase ReplicaPhase
+	// Suspended marks a replica frozen on a failed machine
+	// (SuspendOnFailure mode); it resumes when the machine repairs.
+	Suspended bool
+
+	// done is the reference-seconds of the task completed by this
+	// replica, including the checkpointed prefix it resumed from.
+	done float64
+	// segStart is when the current compute segment began (valid in
+	// PhaseComputing); it realizes partial progress on suspension.
+	segStart float64
+	ev       *des.Event
+	xfer     *checkpoint.Transfer
+}
+
+// Progress returns the replica's completed reference-seconds as of its last
+// phase boundary (progress inside the current compute segment is realized
+// at the segment's end).
+func (r *Replica) Progress() float64 { return r.done }
+
+// Observer receives scheduling events; implementations must not mutate the
+// arguments. All methods are called synchronously from the simulation loop.
+type Observer interface {
+	BagSubmitted(now float64, b *Bag)
+	BagCompleted(now float64, b *Bag)
+	ReplicaStarted(now float64, r *Replica, restart bool)
+	ReplicaFailed(now float64, t *Task, m *grid.Machine)
+	TaskCompleted(now float64, t *Task, replicasKilled int)
+	CheckpointSaved(now float64, t *Task, work float64)
+	MachineFailed(now float64, m *grid.Machine)
+	MachineRepaired(now float64, m *grid.Machine)
+}
+
+// NopObserver ignores every event.
+type NopObserver struct{}
+
+// BagSubmitted implements Observer.
+func (NopObserver) BagSubmitted(float64, *Bag) {}
+
+// BagCompleted implements Observer.
+func (NopObserver) BagCompleted(float64, *Bag) {}
+
+// ReplicaStarted implements Observer.
+func (NopObserver) ReplicaStarted(float64, *Replica, bool) {}
+
+// ReplicaFailed implements Observer.
+func (NopObserver) ReplicaFailed(float64, *Task, *grid.Machine) {}
+
+// TaskCompleted implements Observer.
+func (NopObserver) TaskCompleted(float64, *Task, int) {}
+
+// CheckpointSaved implements Observer.
+func (NopObserver) CheckpointSaved(float64, *Task, float64) {}
+
+// MachineFailed implements Observer.
+func (NopObserver) MachineFailed(float64, *grid.Machine) {}
+
+// MachineRepaired implements Observer.
+func (NopObserver) MachineRepaired(float64, *grid.Machine) {}
+
+var _ Observer = NopObserver{}
+
+// TaskOrder selects the order in which a bag's never-run tasks are
+// dispatched. WQR is knowledge-free and uses arbitrary order; the other
+// orders require knowing task durations and implement the paper's
+// future-work direction of coupling bag selection with knowledge-based
+// individual-bag scheduling.
+type TaskOrder int
+
+const (
+	// ArbitraryOrder dispatches tasks in generation order (WQR).
+	ArbitraryOrder TaskOrder = iota
+	// LongestFirst dispatches the largest tasks first (LPT), the classic
+	// knowledge-based heuristic for parallel-machine makespan.
+	LongestFirst
+	// ShortestFirst dispatches the smallest tasks first (SPT).
+	ShortestFirst
+)
+
+// String names the task order.
+func (o TaskOrder) String() string {
+	switch o {
+	case ArbitraryOrder:
+		return "arbitrary"
+	case LongestFirst:
+		return "longest-first"
+	case ShortestFirst:
+		return "shortest-first"
+	default:
+		return fmt.Sprintf("TaskOrder(%d)", int(o))
+	}
+}
+
+// SchedConfig tunes the scheduler.
+type SchedConfig struct {
+	// Threshold is the WQR-FT replication threshold (paper default: 2,
+	// meaning the scheduler tries to keep two running replicas per task).
+	Threshold int
+	// TaskOrder is the within-bag dispatch order (default: arbitrary,
+	// the knowledge-free WQR rule).
+	TaskOrder TaskOrder
+	// DynamicReplication suppresses replication (threshold 1) while any
+	// bag still has pending tasks, a dynamic variant of WQR-FT suggested
+	// by the paper's future-work section. FCFS-Excl ignores it, since its
+	// exclusive semantics require unlimited replication.
+	DynamicReplication bool
+	// FastestMachineFirst dispatches to the fastest free machine instead
+	// of an arbitrary one — a knowledge-based machine-selection baseline.
+	FastestMachineFirst bool
+	// SuspendOnFailure switches failure semantics from the paper's
+	// kill-and-resubmit to BOINC-style suspend-and-resume: a failed
+	// machine's replica keeps its progress locally and continues when
+	// the machine returns, instead of restarting elsewhere from the last
+	// checkpoint. Siblings may still be replicated meanwhile.
+	SuspendOnFailure bool
+}
+
+// DefaultSchedConfig returns the paper's scheduler parameters.
+func DefaultSchedConfig() SchedConfig { return SchedConfig{Threshold: 2} }
+
+type machState struct {
+	replica *Replica
+	free    bool
+	epoch   uint32
+}
+
+type freeEntry struct {
+	m     *grid.Machine
+	epoch uint32
+}
+
+// Scheduler is the centralized two-step scheduler of the paper: a bag
+// selection Policy layered over WQR-FT individual-bag scheduling.
+// It implements grid.Listener to react to machine failures and repairs.
+type Scheduler struct {
+	eng    *des.Engine
+	grid   *grid.Grid
+	ckpt   *checkpoint.Server
+	policy Policy
+	cfg    SchedConfig
+	obs    Observer
+
+	// OnBagDone, when non-nil, fires after a bag completes (after the
+	// Observer callback). The runner uses it to stop the simulation.
+	OnBagDone func(*Bag)
+
+	ckptInterval float64
+
+	bags            []*Bag // active bags in arrival (ID) order
+	nextBagID       int
+	submitted       int
+	completed       int
+	pendingTotal    int
+	totalRunning    int
+	failures        int
+	suspensions     int
+	replicasStarted int
+	tasksCompleted  int
+	replicasKilled  int // sibling replicas cancelled by task completions
+
+	mstate    []machState
+	freeStack []freeEntry
+	freeCount int
+}
+
+// NewScheduler wires a scheduler to an engine, grid and checkpoint server.
+// The checkpoint interval follows Young's formula using the grid's MTBF.
+// obs may be nil.
+func NewScheduler(eng *des.Engine, g *grid.Grid, ck *checkpoint.Server, p Policy, cfg SchedConfig, obs Observer) *Scheduler {
+	if cfg.Threshold < 1 {
+		panic(fmt.Sprintf("core: replication threshold %d must be >= 1", cfg.Threshold))
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	s := &Scheduler{
+		eng:          eng,
+		grid:         g,
+		ckpt:         ck,
+		policy:       p,
+		cfg:          cfg,
+		obs:          obs,
+		ckptInterval: ck.Interval(g.Config.MTBF()),
+		mstate:       make([]machState, len(g.Machines)),
+	}
+	for _, m := range g.Machines {
+		if m.Up() {
+			s.pushFree(m)
+		}
+	}
+	return s
+}
+
+// Bags returns the active bags in arrival order. The slice is owned by the
+// scheduler; callers must not mutate it.
+func (s *Scheduler) Bags() []*Bag { return s.bags }
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() float64 { return s.eng.Now() }
+
+// Submitted returns the number of bags submitted so far.
+func (s *Scheduler) Submitted() int { return s.submitted }
+
+// Completed returns the number of bags fully completed so far.
+func (s *Scheduler) Completed() int { return s.completed }
+
+// PendingTasks returns the number of queued (replica-less) tasks.
+func (s *Scheduler) PendingTasks() int { return s.pendingTotal }
+
+// RunningReplicas returns the number of replicas currently executing.
+func (s *Scheduler) RunningReplicas() int { return s.totalRunning }
+
+// FreeMachines returns the number of up, unassigned machines.
+func (s *Scheduler) FreeMachines() int { return s.freeCount }
+
+// ReplicaFailures returns the number of replicas lost to machine failures.
+func (s *Scheduler) ReplicaFailures() int { return s.failures }
+
+// ReplicasStarted returns the number of replicas dispatched so far.
+func (s *Scheduler) ReplicasStarted() int { return s.replicasStarted }
+
+// TasksCompleted returns the number of tasks completed so far.
+func (s *Scheduler) TasksCompleted() int { return s.tasksCompleted }
+
+// Suspensions returns the number of replica suspensions (SuspendOnFailure
+// mode only).
+func (s *Scheduler) Suspensions() int { return s.suspensions }
+
+// ReplicasKilled returns the number of sibling replicas cancelled because
+// another replica of their task completed first — the "cycles traded for
+// information" overhead of replication-based knowledge-free scheduling.
+func (s *Scheduler) ReplicasKilled() int { return s.replicasKilled }
+
+// CheckpointInterval returns the Young interval in use.
+func (s *Scheduler) CheckpointInterval() float64 { return s.ckptInterval }
+
+// Submit enters a new bag with the given per-task reference durations at
+// the current simulation time and immediately attempts dispatch. With a
+// knowledge-based TaskOrder the queue is sorted once at submission, since
+// task durations are static.
+func (s *Scheduler) Submit(granularity float64, works []float64) *Bag {
+	if len(works) == 0 {
+		panic("core: cannot submit an empty bag")
+	}
+	switch s.cfg.TaskOrder {
+	case LongestFirst:
+		works = sortedWorks(works, func(a, b float64) bool { return a > b })
+	case ShortestFirst:
+		works = sortedWorks(works, func(a, b float64) bool { return a < b })
+	}
+	b := newBag(s.nextBagID, s.eng.Now(), granularity, works)
+	s.nextBagID++
+	s.submitted++
+	s.bags = append(s.bags, b)
+	s.pendingTotal += len(works)
+	s.obs.BagSubmitted(s.eng.Now(), b)
+	s.dispatch()
+	return b
+}
+
+// effectiveThreshold resolves the replication threshold for this dispatch
+// round: the dynamic-replication rule first, then the policy override.
+func (s *Scheduler) effectiveThreshold() int {
+	base := s.cfg.Threshold
+	if s.cfg.DynamicReplication && s.pendingTotal > 0 {
+		base = 1
+	}
+	return s.policy.Threshold(base)
+}
+
+// dispatch assigns free machines to tasks until either runs out: the
+// two-step bag-selection + WQR-FT loop at the heart of the paper.
+func (s *Scheduler) dispatch() {
+	for s.freeCount > 0 {
+		thr := s.effectiveThreshold()
+		b := s.policy.SelectBag(s, thr)
+		if b == nil {
+			return
+		}
+		m := s.takeFreeMachine()
+		if m == nil {
+			return
+		}
+		restart := false
+		t := b.popPending()
+		if t != nil {
+			s.pendingTotal--
+			restart = t.Restart
+		} else if t = b.replicable(thr); t == nil {
+			// The policy promised schedulability it cannot deliver;
+			// return the machine and refuse to spin.
+			s.pushFree(m)
+			return
+		}
+		s.startReplica(t, m, restart)
+	}
+}
+
+// pushFree marks m available and stacks it for O(1) allocation.
+func (s *Scheduler) pushFree(m *grid.Machine) {
+	st := &s.mstate[m.ID]
+	if st.free || st.replica != nil {
+		panic("core: machine double-freed")
+	}
+	st.free = true
+	st.epoch++
+	s.freeStack = append(s.freeStack, freeEntry{m: m, epoch: st.epoch})
+	s.freeCount++
+}
+
+// takeFreeMachine pops a valid free machine (LIFO, knowledge-free) or the
+// fastest free one when FastestMachineFirst is set. Stale stack entries
+// (invalidated by failures) are discarded lazily.
+func (s *Scheduler) takeFreeMachine() *grid.Machine {
+	if s.cfg.FastestMachineFirst {
+		return s.takeFastestFree()
+	}
+	for len(s.freeStack) > 0 {
+		e := s.freeStack[len(s.freeStack)-1]
+		s.freeStack = s.freeStack[:len(s.freeStack)-1]
+		st := &s.mstate[e.m.ID]
+		if st.free && st.epoch == e.epoch {
+			st.free = false
+			s.freeCount--
+			return e.m
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) takeFastestFree() *grid.Machine {
+	var best *grid.Machine
+	for _, m := range s.grid.Machines {
+		if s.mstate[m.ID].free && (best == nil || m.Power > best.Power) {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	s.mstate[best.ID].free = false // its stack entry goes stale
+	s.freeCount--
+	return best
+}
+
+// startReplica launches a replica of t on m.
+func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
+	now := s.eng.Now()
+	b := t.Bag
+	if t.State == TaskPending {
+		t.idleAccum += now - t.idleSince
+		t.Restart = false
+		b.markRunning(t)
+		if t.FirstStart < 0 {
+			t.FirstStart = now
+		}
+		if b.FirstStart < 0 {
+			b.FirstStart = now
+		}
+	}
+	r := &Replica{Task: t, Machine: m, Started: now, done: t.Checkpointed}
+	t.Replicas = append(t.Replicas, r)
+	b.running++
+	s.totalRunning++
+	s.replicasStarted++
+	s.mstate[m.ID].replica = r
+	s.obs.ReplicaStarted(now, r, restart)
+	if t.Checkpointed > 0 && s.ckpt.Enabled() {
+		r.Phase = PhaseRetrieving
+		r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.RetrieveTime(), func() {
+			r.xfer = nil
+			s.beginSegment(r)
+		})
+		return
+	}
+	s.beginSegment(r)
+}
+
+// beginSegment starts the replica's next compute segment, ending either at
+// task completion or at the next Young checkpoint.
+func (s *Scheduler) beginSegment(r *Replica) {
+	r.Phase = PhaseComputing
+	r.segStart = s.eng.Now()
+	remainWall := (r.Task.Work - r.done) / r.Machine.Power
+	if remainWall <= s.ckptInterval {
+		r.ev = s.eng.Schedule(remainWall, func(*des.Engine) {
+			r.done = r.Task.Work
+			s.completeTask(r)
+		})
+		return
+	}
+	r.ev = s.eng.Schedule(s.ckptInterval, func(*des.Engine) {
+		r.done += s.ckptInterval * r.Machine.Power
+		s.startSave(r)
+	})
+}
+
+// startSave begins a checkpoint save of the replica's current progress.
+func (s *Scheduler) startSave(r *Replica) {
+	r.Phase = PhaseSaving
+	r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.SaveTime(), func() {
+		r.xfer = nil
+		if r.done > r.Task.Checkpointed {
+			r.Task.Checkpointed = r.done
+		}
+		s.obs.CheckpointSaved(s.eng.Now(), r.Task, r.done)
+		s.beginSegment(r)
+	})
+}
+
+// completeTask finishes t via winning replica r: every sibling replica is
+// killed and its machine freed, per WQR-FT.
+func (s *Scheduler) completeTask(r *Replica) {
+	now := s.eng.Now()
+	t := r.Task
+	b := t.Bag
+	if t.State != TaskRunning {
+		panic("core: completing a task that is not running")
+	}
+	t.State = TaskDone
+	t.DoneAt = now
+	b.doneTasks++
+	b.doneWork += t.Work
+	b.unmarkRunning(t)
+	killed := len(t.Replicas) - 1
+	for _, rep := range t.Replicas {
+		s.cancelReplicaWork(rep)
+		st := &s.mstate[rep.Machine.ID]
+		st.replica = nil
+		if rep.Machine.Up() {
+			s.pushFree(rep.Machine)
+		}
+	}
+	k := len(t.Replicas)
+	t.Replicas = nil
+	b.running -= k
+	s.totalRunning -= k
+	s.tasksCompleted++
+	s.replicasKilled += killed
+	s.obs.TaskCompleted(now, t, killed)
+	if b.Complete() {
+		b.DoneAt = now
+		s.removeBag(b)
+		s.completed++
+		s.obs.BagCompleted(now, b)
+		if s.OnBagDone != nil {
+			s.OnBagDone(b)
+		}
+	}
+	s.dispatch()
+}
+
+// cancelReplicaWork aborts whatever the replica is doing: its next compute
+// event and any in-flight or queued checkpoint transfer.
+func (s *Scheduler) cancelReplicaWork(r *Replica) {
+	s.eng.Cancel(r.ev)
+	if r.xfer != nil {
+		r.xfer.Cancel(s.eng)
+		r.xfer = nil
+	}
+}
+
+// removeBag deletes b from the active list, preserving arrival order.
+func (s *Scheduler) removeBag(b *Bag) {
+	for i, x := range s.bags {
+		if x == b {
+			s.bags = append(s.bags[:i], s.bags[i+1:]...)
+			return
+		}
+	}
+	panic("core: removing unknown bag")
+}
+
+// MachineFailed implements grid.Listener: the machine's replica (if any) is
+// lost; a task left with no replicas re-enters its bag's queue at the front
+// for priority resubmission, restarting from its latest checkpoint.
+func (s *Scheduler) MachineFailed(m *grid.Machine) {
+	now := s.eng.Now()
+	st := &s.mstate[m.ID]
+	if st.free {
+		st.free = false // its stack entry goes stale
+		s.freeCount--
+	}
+	s.obs.MachineFailed(now, m)
+	r := st.replica
+	if r == nil {
+		return
+	}
+	if s.cfg.SuspendOnFailure {
+		s.suspendReplica(r)
+		return
+	}
+	s.failures++
+	s.cancelReplicaWork(r)
+	st.replica = nil
+	t := r.Task
+	b := t.Bag
+	removeReplica(t, r)
+	b.running--
+	s.totalRunning--
+	t.Failures++
+	s.obs.ReplicaFailed(now, t, m)
+	if t.State == TaskRunning && len(t.Replicas) == 0 {
+		b.unmarkRunning(t)
+		t.idleSince = now
+		t.Restart = true
+		b.enqueuePending(t, true)
+		s.pendingTotal++
+	}
+	// A newly-pending task may be servable by machines that were idle
+	// for lack of schedulable work.
+	s.dispatch()
+}
+
+// MachineRepaired implements grid.Listener. A suspended replica (see
+// SchedConfig.SuspendOnFailure) resumes; otherwise the machine rejoins the
+// free pool.
+func (s *Scheduler) MachineRepaired(m *grid.Machine) {
+	s.obs.MachineRepaired(s.eng.Now(), m)
+	if r := s.mstate[m.ID].replica; r != nil && r.Suspended {
+		s.resumeReplica(r)
+		return
+	}
+	s.pushFree(m)
+	s.dispatch()
+}
+
+// suspendReplica freezes a replica in place on its failed machine,
+// realizing the partial progress of the interrupted compute segment.
+// Interrupted checkpoint transfers are abandoned and redone on resume.
+func (s *Scheduler) suspendReplica(r *Replica) {
+	if r.Phase == PhaseComputing {
+		progress := (s.eng.Now() - r.segStart) * r.Machine.Power
+		r.done += progress
+		if r.done > r.Task.Work {
+			r.done = r.Task.Work
+		}
+	}
+	s.cancelReplicaWork(r)
+	r.Suspended = true
+	s.suspensions++
+}
+
+// resumeReplica continues a suspended replica where it left off.
+func (s *Scheduler) resumeReplica(r *Replica) {
+	r.Suspended = false
+	switch r.Phase {
+	case PhaseRetrieving:
+		r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.RetrieveTime(), func() {
+			r.xfer = nil
+			s.beginSegment(r)
+		})
+	case PhaseSaving:
+		s.startSave(r)
+	default:
+		s.beginSegment(r)
+	}
+}
+
+var _ grid.Listener = (*Scheduler)(nil)
+
+// sortedWorks returns a stably-sorted copy of works.
+func sortedWorks(works []float64, less func(a, b float64) bool) []float64 {
+	out := make([]float64, len(works))
+	copy(out, works)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func removeReplica(t *Task, r *Replica) {
+	for i, x := range t.Replicas {
+		if x == r {
+			last := len(t.Replicas) - 1
+			t.Replicas[i] = t.Replicas[last]
+			t.Replicas = t.Replicas[:last]
+			return
+		}
+	}
+	panic("core: removing unknown replica")
+}
+
+// CheckInvariants panics with a description if internal bookkeeping is
+// inconsistent; tests call it between events.
+func (s *Scheduler) CheckInvariants() {
+	running := 0
+	pending := 0
+	for _, b := range s.bags {
+		br := 0
+		for _, t := range b.Tasks {
+			switch t.State {
+			case TaskRunning:
+				if len(t.Replicas) == 0 {
+					panic("core: running task with no replicas")
+				}
+				br += len(t.Replicas)
+			case TaskPending:
+				if len(t.Replicas) != 0 {
+					panic("core: pending task with replicas")
+				}
+				pending++
+			case TaskDone:
+				if len(t.Replicas) != 0 {
+					panic("core: done task with replicas")
+				}
+			}
+		}
+		if br != b.running {
+			panic(fmt.Sprintf("core: bag %d running count %d != %d", b.ID, b.running, br))
+		}
+		if b.PendingCount() != pendingInBag(b) {
+			panic(fmt.Sprintf("core: bag %d pending queue %d != state count %d",
+				b.ID, b.PendingCount(), pendingInBag(b)))
+		}
+		running += br
+	}
+	if running != s.totalRunning {
+		panic(fmt.Sprintf("core: total running %d != %d", s.totalRunning, running))
+	}
+	if pending != s.pendingTotal {
+		panic(fmt.Sprintf("core: total pending %d != %d", s.pendingTotal, pending))
+	}
+	free := 0
+	busy := 0
+	for i := range s.mstate {
+		if s.mstate[i].free {
+			if !s.grid.Machines[i].Up() {
+				panic("core: down machine marked free")
+			}
+			free++
+		}
+		if s.mstate[i].replica != nil {
+			if s.mstate[i].free {
+				panic("core: machine both free and busy")
+			}
+			busy++
+		}
+	}
+	if free != s.freeCount {
+		panic(fmt.Sprintf("core: free count %d != %d", s.freeCount, free))
+	}
+	if busy != s.totalRunning {
+		panic(fmt.Sprintf("core: busy machines %d != running replicas %d", busy, s.totalRunning))
+	}
+	_ = math.MaxInt
+}
+
+func pendingInBag(b *Bag) int {
+	n := 0
+	for _, t := range b.Tasks {
+		if t.State == TaskPending {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,361 @@
+// Package core implements the paper's primary contribution: two-step
+// scheduling of multiple Bag-of-Tasks applications on a Desktop Grid.
+//
+// On every scheduling opportunity (a machine becoming free, a failure
+// returning a task to the queue, a repair, an arrival) the scheduler first
+// performs *bag selection* with a pluggable Policy — the five knowledge-free
+// policies of the paper plus several extensions — and then *individual bag
+// scheduling* with WQR-FT: WorkQueue with Replication, checkpointing and
+// automatic resubmission of failed tasks (Anglano & Canonico, EGC 2005).
+package core
+
+import "math"
+
+// TaskState is the lifecycle state of a task.
+type TaskState int
+
+const (
+	// TaskPending means the task has no running replica and waits in its
+	// bag's queue (either never started or returned by a failure).
+	TaskPending TaskState = iota
+	// TaskRunning means at least one replica of the task is executing.
+	TaskRunning
+	// TaskDone means some replica completed the task.
+	TaskDone
+)
+
+// String returns a short state name.
+func (s TaskState) String() string {
+	switch s {
+	case TaskPending:
+		return "pending"
+	case TaskRunning:
+		return "running"
+	case TaskDone:
+		return "done"
+	default:
+		return "invalid"
+	}
+}
+
+// Task is one independent unit of work inside a bag.
+type Task struct {
+	// ID is the task's index within its bag.
+	ID int
+	// Bag is the owning bag.
+	Bag *Bag
+	// Work is the task's total duration on the reference machine
+	// (power 1), in seconds.
+	Work float64
+	// Checkpointed is the amount of Work safely stored on the checkpoint
+	// server; a restarting replica resumes from here.
+	Checkpointed float64
+
+	// State is the task lifecycle state.
+	State TaskState
+	// Replicas holds the currently running replicas.
+	Replicas []*Replica
+	// Restart marks a task that lost all replicas to failures and awaits
+	// resubmission (such tasks re-enter the queue at the front).
+	Restart bool
+
+	// FirstStart is when the first replica started (-1 if never).
+	FirstStart float64
+	// DoneAt is the completion time (-1 if not complete).
+	DoneAt float64
+	// Failures counts replica losses due to machine failures.
+	Failures int
+
+	// idleAccum is the total time the task has spent with no running
+	// replica, up to idleSince (exclusive of the current idle stretch).
+	idleAccum float64
+	// idleSince is when the current idle stretch began (valid while
+	// State == TaskPending).
+	idleSince float64
+	// pendingEpoch invalidates stale idle-heap entries (lazy deletion).
+	pendingEpoch uint32
+	// heapKey is the frozen LongIdle ordering key for the current
+	// pending stretch; see idleKey.
+	heapKey float64
+}
+
+// IdleTime returns the task's total replica-less waiting time as of now —
+// the LongIdle policy's notion of task waiting time.
+func (t *Task) IdleTime(now float64) float64 {
+	if t.State == TaskPending {
+		return t.idleAccum + now - t.idleSince
+	}
+	return t.idleAccum
+}
+
+// idleKey is a time-invariant ordering key: among currently pending tasks,
+// IdleTime differences are constant, so comparing idleAccum − idleSince
+// ranks tasks by IdleTime at any instant.
+func (t *Task) idleKey() float64 { return t.idleAccum - t.idleSince }
+
+// Remaining returns the reference-seconds of work not yet checkpointed.
+func (t *Task) Remaining() float64 { return t.Work - t.Checkpointed }
+
+// Bag holds one BoT application's tasks and the per-bag queue the central
+// scheduler maintains for it (Section 3.1 of the paper).
+type Bag struct {
+	// ID numbers bags in arrival order.
+	ID int
+	// Arrival is the submission time.
+	Arrival float64
+	// Granularity is the BoT type the bag was generated from.
+	Granularity float64
+	// Tasks lists every task of the bag.
+	Tasks []*Task
+
+	// FirstStart is when the bag's first replica started (-1 if never).
+	FirstStart float64
+	// DoneAt is when the bag's last task completed (-1 while active).
+	DoneAt float64
+
+	pending   pendingQueue
+	idleHeap  idleHeap
+	runningTs []*Task // tasks in state TaskRunning, unordered
+	doneTasks int
+	running   int     // running replicas across all tasks
+	doneWork  float64 // reference-seconds of completed tasks
+	totalWork float64
+}
+
+// newBag wraps task works into a Bag with all tasks pending as of now.
+func newBag(id int, arrival, granularity float64, works []float64) *Bag {
+	b := &Bag{
+		ID:          id,
+		Arrival:     arrival,
+		Granularity: granularity,
+		FirstStart:  -1,
+		DoneAt:      -1,
+	}
+	b.Tasks = make([]*Task, len(works))
+	for i, w := range works {
+		t := &Task{
+			ID:         i,
+			Bag:        b,
+			Work:       w,
+			FirstStart: -1,
+			DoneAt:     -1,
+			idleSince:  arrival,
+		}
+		b.Tasks[i] = t
+		b.totalWork += w
+		b.enqueuePending(t, false)
+	}
+	return b
+}
+
+// enqueuePending puts t into the bag's queue; front selects resubmission
+// priority (failed tasks are rescheduled before never-run ones, mirroring
+// the WQR-FT rule that failed replicas get priority).
+func (b *Bag) enqueuePending(t *Task, front bool) {
+	t.State = TaskPending
+	t.pendingEpoch++
+	t.heapKey = t.idleKey()
+	if front {
+		b.pending.pushFront(t)
+	} else {
+		b.pending.pushBack(t)
+	}
+	b.idleHeap.push(t)
+}
+
+// popPending removes and returns the next pending task (resubmissions
+// first, then queue order), or nil.
+func (b *Bag) popPending() *Task { return b.pending.pop() }
+
+// HasPending reports whether any task waits with no running replica.
+func (b *Bag) HasPending() bool { return b.pending.len() > 0 }
+
+// PendingCount returns the number of queued tasks.
+func (b *Bag) PendingCount() int { return b.pending.len() }
+
+// Complete reports whether every task has finished.
+func (b *Bag) Complete() bool { return b.doneTasks == len(b.Tasks) }
+
+// DoneTasks returns the number of completed tasks.
+func (b *Bag) DoneTasks() int { return b.doneTasks }
+
+// RunningReplicas returns the number of replicas currently executing.
+func (b *Bag) RunningReplicas() int { return b.running }
+
+// RemainingWork returns reference-seconds of work in incomplete tasks.
+func (b *Bag) RemainingWork() float64 { return b.totalWork - b.doneWork }
+
+// TotalWork returns the bag's total work.
+func (b *Bag) TotalWork() float64 { return b.totalWork }
+
+// replicable returns the running task with the fewest replicas, provided it
+// is below the threshold; nil otherwise. Ties break toward the lowest task
+// ID for determinism.
+func (b *Bag) replicable(threshold int) *Task {
+	var best *Task
+	for _, t := range b.runningTs {
+		if len(t.Replicas) >= threshold {
+			continue
+		}
+		if best == nil || len(t.Replicas) < len(best.Replicas) ||
+			(len(t.Replicas) == len(best.Replicas) && t.ID < best.ID) {
+			best = t
+		}
+	}
+	return best
+}
+
+// Schedulable reports whether the bag can use one more machine under the
+// given replication threshold.
+func (b *Bag) Schedulable(threshold int) bool {
+	if b.Complete() {
+		return false
+	}
+	return b.HasPending() || b.replicable(threshold) != nil
+}
+
+// maxIdle returns the largest LongIdle key among pending tasks, or
+// (-Inf, nil) when none. Stale heap entries are discarded lazily.
+func (b *Bag) maxIdle() (float64, *Task) {
+	for b.idleHeap.len() > 0 {
+		e := b.idleHeap.peek()
+		if e.task.State == TaskPending && e.epoch == e.task.pendingEpoch {
+			return e.task.heapKey, e.task
+		}
+		b.idleHeap.popTop()
+	}
+	return math.Inf(-1), nil
+}
+
+// markRunning moves a pending task to the running set.
+func (b *Bag) markRunning(t *Task) {
+	t.State = TaskRunning
+	b.runningTs = append(b.runningTs, t)
+}
+
+// unmarkRunning removes t from the running set (after completion or after
+// losing its last replica).
+func (b *Bag) unmarkRunning(t *Task) {
+	for i, u := range b.runningTs {
+		if u == t {
+			last := len(b.runningTs) - 1
+			b.runningTs[i] = b.runningTs[last]
+			b.runningTs = b.runningTs[:last]
+			return
+		}
+	}
+}
+
+// pendingQueue is a FIFO of tasks with a priority front for resubmissions,
+// implemented as a growable ring buffer.
+type pendingQueue struct {
+	buf        []*Task
+	head, size int
+}
+
+func (q *pendingQueue) len() int { return q.size }
+
+func (q *pendingQueue) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]*Task, n)
+	for i := 0; i < q.size; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = buf, 0
+}
+
+func (q *pendingQueue) pushBack(t *Task) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = t
+	q.size++
+}
+
+func (q *pendingQueue) pushFront(t *Task) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = t
+	q.size++
+}
+
+func (q *pendingQueue) pop() *Task {
+	if q.size == 0 {
+		return nil
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return t
+}
+
+// idleHeap is a max-heap of pending tasks ordered by the frozen LongIdle
+// key, with lazy deletion through pendingEpoch.
+type idleHeap struct {
+	entries []idleEntry
+}
+
+type idleEntry struct {
+	task  *Task
+	epoch uint32
+}
+
+func (h *idleHeap) len() int { return len(h.entries) }
+
+func (h *idleHeap) peek() idleEntry { return h.entries[0] }
+
+func (h *idleHeap) push(t *Task) {
+	h.entries = append(h.entries, idleEntry{task: t, epoch: t.pendingEpoch})
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+// less orders entry i before j when it has the larger key (max-heap); ties
+// break toward the older bag then the lower task ID, matching LongIdle's
+// FCFS-Share degeneration.
+func (h *idleHeap) less(i, j int) bool {
+	a, b := h.entries[i].task, h.entries[j].task
+	if a.heapKey != b.heapKey {
+		return a.heapKey > b.heapKey
+	}
+	if a.Bag.ID != b.Bag.ID {
+		return a.Bag.ID < b.Bag.ID
+	}
+	return a.ID < b.ID
+}
+
+func (h *idleHeap) popTop() {
+	n := len(h.entries) - 1
+	h.entries[0] = h.entries[n]
+	h.entries[n] = idleEntry{}
+	h.entries = h.entries[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h.entries[i], h.entries[best] = h.entries[best], h.entries[i]
+		i = best
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPendingQueueFIFO(t *testing.T) {
+	var q pendingQueue
+	tasks := make([]*Task, 20)
+	for i := range tasks {
+		tasks[i] = &Task{ID: i}
+		q.pushBack(tasks[i])
+	}
+	if q.len() != 20 {
+		t.Fatalf("len = %d, want 20", q.len())
+	}
+	for i := 0; i < 20; i++ {
+		got := q.pop()
+		if got != tasks[i] {
+			t.Fatalf("pop %d returned task %d", i, got.ID)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop of empty queue should be nil")
+	}
+}
+
+func TestPendingQueueFrontPriority(t *testing.T) {
+	var q pendingQueue
+	a, b, c := &Task{ID: 0}, &Task{ID: 1}, &Task{ID: 2}
+	q.pushBack(a)
+	q.pushBack(b)
+	q.pushFront(c) // failed-task resubmission
+	if got := q.pop(); got != c {
+		t.Fatalf("front-pushed task not popped first (got %d)", got.ID)
+	}
+	if q.pop() != a || q.pop() != b {
+		t.Fatal("FIFO order broken after pushFront")
+	}
+}
+
+func TestPendingQueueGrowthAcrossWrap(t *testing.T) {
+	// Interleave pushes and pops so head wraps, then force growth.
+	var q pendingQueue
+	next := 0
+	pop := 0
+	mk := func() *Task { next++; return &Task{ID: next - 1} }
+	for i := 0; i < 6; i++ {
+		q.pushBack(mk())
+	}
+	for i := 0; i < 4; i++ {
+		if got := q.pop(); got.ID != pop {
+			t.Fatalf("pop = %d, want %d", got.ID, pop)
+		}
+		pop++
+	}
+	for i := 0; i < 20; i++ { // forces grow with wrapped head
+		q.pushBack(mk())
+	}
+	for q.len() > 0 {
+		if got := q.pop(); got.ID != pop {
+			t.Fatalf("pop = %d, want %d (after growth)", got.ID, pop)
+		}
+		pop++
+	}
+	if pop != next {
+		t.Fatalf("popped %d of %d", pop, next)
+	}
+}
+
+func TestQuickPendingQueueModel(t *testing.T) {
+	// Model-check the ring buffer against a plain slice.
+	f := func(ops []uint8) bool {
+		var q pendingQueue
+		var model []*Task
+		id := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				tk := &Task{ID: id}
+				id++
+				q.pushBack(tk)
+				model = append(model, tk)
+			case 1:
+				tk := &Task{ID: id}
+				id++
+				q.pushFront(tk)
+				model = append([]*Task{tk}, model...)
+			case 2:
+				got := q.pop()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					return false
+				}
+			}
+			if q.len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdleHeapOrdering(t *testing.T) {
+	b := &Bag{ID: 0}
+	var h idleHeap
+	r := rand.New(rand.NewSource(8))
+	var tasks []*Task
+	for i := 0; i < 100; i++ {
+		tk := &Task{ID: i, Bag: b, idleSince: r.Float64() * 1000}
+		tk.pendingEpoch = 1
+		tk.heapKey = tk.idleKey()
+		tasks = append(tasks, tk)
+		h.push(tk)
+	}
+	prev := 1e18
+	for h.len() > 0 {
+		e := h.peek()
+		h.popTop()
+		if e.task.heapKey > prev {
+			t.Fatal("heap not ordered by descending key")
+		}
+		prev = e.task.heapKey
+	}
+	_ = tasks
+}
+
+func TestIdleHeapLazyDeletion(t *testing.T) {
+	b := &Bag{ID: 0}
+	works := []float64{100, 100, 100}
+	bag := newBag(0, 0, 1000, works)
+	// Pop one task via the queue; its heap entry becomes stale.
+	tk := bag.popPending()
+	bag.markRunning(tk)
+	key, top := bag.maxIdle()
+	if top == tk {
+		t.Fatal("maxIdle returned a running task")
+	}
+	if top == nil || key != top.heapKey {
+		t.Fatalf("maxIdle inconsistent: %v %v", key, top)
+	}
+	_ = b
+}
+
+func TestBagAccessors(t *testing.T) {
+	bag := newBag(3, 42.5, 1000, []float64{100, 200, 300})
+	if bag.ID != 3 || bag.Arrival != 42.5 {
+		t.Fatal("bag identity wrong")
+	}
+	if bag.TotalWork() != 600 || bag.RemainingWork() != 600 {
+		t.Fatalf("work accounting wrong: %v/%v", bag.TotalWork(), bag.RemainingWork())
+	}
+	if bag.Complete() || bag.DoneTasks() != 0 {
+		t.Fatal("fresh bag should be incomplete")
+	}
+	if bag.PendingCount() != 3 || !bag.HasPending() {
+		t.Fatal("fresh bag should have all tasks pending")
+	}
+	if bag.RunningReplicas() != 0 {
+		t.Fatal("fresh bag should have no replicas")
+	}
+	// All tasks idle since arrival.
+	for _, tk := range bag.Tasks {
+		if tk.IdleTime(100) != 57.5 {
+			t.Fatalf("IdleTime = %v, want 57.5", tk.IdleTime(100))
+		}
+		if tk.Remaining() != tk.Work {
+			t.Fatal("fresh task should have full work remaining")
+		}
+	}
+}
+
+func TestReplicableSelection(t *testing.T) {
+	bag := newBag(0, 0, 1000, []float64{100, 200, 300})
+	t0 := bag.popPending()
+	bag.markRunning(t0)
+	t0.Replicas = append(t0.Replicas, &Replica{Task: t0})
+	t1 := bag.popPending()
+	bag.markRunning(t1)
+	t1.Replicas = append(t1.Replicas, &Replica{Task: t1}, &Replica{Task: t1})
+	// Threshold 2: only t0 (1 replica) qualifies; t1 is full.
+	if got := bag.replicable(2); got != t0 {
+		t.Fatalf("replicable(2) = %v, want task 0", got)
+	}
+	// Threshold 1: nothing qualifies.
+	if got := bag.replicable(1); got != nil {
+		t.Fatalf("replicable(1) = %v, want nil", got)
+	}
+	// Unlimited: fewest replicas wins (t0).
+	if got := bag.replicable(1 << 30); got != t0 {
+		t.Fatalf("replicable(inf) = %v, want task 0", got)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/grid"
+	"botgrid/internal/workload"
+)
+
+// workSum observes completed task work for utilization accounting.
+type workSum struct {
+	NopObserver
+	total *float64
+}
+
+func (w *workSum) TaskCompleted(_ float64, t *Task, _ int) { *w.total += t.Work }
+
+// TestUtilizationLaw validates the paper's Eq. 1 end to end: driving the
+// grid with λ = U·P/S must produce a measured useful-work utilization close
+// to U. Replication is disabled (threshold 1) and the grid never fails, so
+// all consumed cycles are useful.
+func TestUtilizationLaw(t *testing.T) {
+	for _, util := range []float64{0.5, 0.75} {
+		util := util
+		t.Run(formatUtil(util), func(t *testing.T) {
+			t.Parallel()
+			gc := grid.DefaultConfig(grid.Hom, grid.AlwaysUp)
+			gc.TotalPower = 100
+			cc := checkpoint.Config{Enabled: false, TransferLo: 240, TransferHi: 720}
+			appSize := 20000.0
+			lambda := workload.LambdaForUtilization(util, appSize, EffectivePower(gc, cc))
+			var useful float64
+			cfg := RunConfig{
+				Seed: 5,
+				Grid: gc,
+				Workload: workload.Config{
+					Granularities: []float64{1000},
+					AppSize:       appSize,
+					Spread:        0.5,
+					Lambda:        lambda,
+				},
+				Policy:     FCFSShare,
+				Sched:      SchedConfig{Threshold: 1},
+				Checkpoint: cc,
+				NumBoTs:    200,
+				Warmup:     0,
+				Observer:   &workSum{total: &useful},
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Saturated {
+				t.Fatal("utilization run saturated")
+			}
+			measured := useful / (gc.TotalPower * res.SimEnd)
+			if math.Abs(measured-util) > 0.08 {
+				t.Fatalf("measured utilization %.3f, want ≈%.2f", measured, util)
+			}
+		})
+	}
+}
+
+func formatUtil(u float64) string {
+	if u == 0.5 {
+		return "U50"
+	}
+	return "U75"
+}
+
+// TestPowerScalingMetamorphic replays the identical BoT trace on a grid
+// with doubled machine powers: with no failures, no checkpoints and
+// non-overlapping bags, every makespan must halve exactly.
+func TestPowerScalingMetamorphic(t *testing.T) {
+	bots := []*workload.BoT{
+		{ID: 0, Arrival: 0, Granularity: 1000, TaskWork: []float64{900, 1100, 1000, 750}},
+		{ID: 1, Arrival: 5000, Granularity: 1000, TaskWork: []float64{1300, 600}},
+		{ID: 2, Arrival: 10000, Granularity: 1000, TaskWork: []float64{1000}},
+	}
+	run := func(homPower float64) Result {
+		gc := grid.DefaultConfig(grid.Hom, grid.AlwaysUp)
+		gc.TotalPower = 10 * homPower // two machines
+		gc.HomPower = homPower
+		res, err := Run(RunConfig{
+			Seed:       9,
+			Grid:       gc,
+			Bots:       bots,
+			Policy:     FCFSShare,
+			Sched:      SchedConfig{Threshold: 1},
+			Checkpoint: checkpoint.Config{Enabled: false, TransferLo: 1, TransferHi: 1},
+			Warmup:     0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Saturated {
+			t.Fatal("metamorphic run saturated")
+		}
+		return res
+	}
+	slow := run(10)
+	fast := run(20)
+	for i := range slow.Bags {
+		s, f := slow.Bags[i], fast.Bags[i]
+		if math.Abs(f.Makespan-s.Makespan/2) > 1e-9 {
+			t.Fatalf("bag %d makespan %v on 2× power, want exactly %v", i, f.Makespan, s.Makespan/2)
+		}
+		if s.Waiting != 0 || f.Waiting != 0 {
+			t.Fatalf("bag %d waited (%v/%v) in an uncontended run", i, s.Waiting, f.Waiting)
+		}
+	}
+}
+
+// TestQuickRunInvariants fuzzes seeds and policies over a fast scenario and
+// checks structural invariants of every result.
+func TestQuickRunInvariants(t *testing.T) {
+	f := func(seed uint64, polPick uint8, utilPick bool) bool {
+		pol := Kinds[int(polPick)%len(Kinds)]
+		util := 0.5
+		if utilPick {
+			util = 0.9
+		}
+		gc := grid.DefaultConfig(grid.Hom, grid.MedAvail)
+		gc.TotalPower = 100
+		cc := checkpoint.DefaultConfig()
+		cfg := RunConfig{
+			Seed: seed,
+			Grid: gc,
+			Workload: workload.Config{
+				Granularities: []float64{2000},
+				AppSize:       20000,
+				Spread:        0.5,
+				Lambda:        workload.LambdaForUtilization(util, 20000, EffectivePower(gc, cc)),
+			},
+			Policy:  pol,
+			NumBoTs: 15,
+			Warmup:  3,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		if res.Completed > res.Submitted || res.Submitted > 15 {
+			return false
+		}
+		if res.TasksCompleted > res.ReplicasStarted {
+			return false
+		}
+		prev := 0.0
+		for _, b := range res.Bags {
+			if b.Waiting < 0 || b.Makespan <= 0 || b.Turnaround <= 0 {
+				return false
+			}
+			if b.Completed < prev { // completion order
+				return false
+			}
+			prev = b.Completed
+			if math.Abs(b.Turnaround-(b.Waiting+b.Makespan)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package des provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a simulation clock and a priority queue of events
+// ordered by (time, sequence number). Ties in time are broken by scheduling
+// order, so a run is fully deterministic: the same sequence of Schedule and
+// Cancel calls always yields the same execution order.
+//
+// Events may be cancelled after being scheduled; cancellation is O(log n)
+// because every event tracks its heap index.
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. It receives the
+// engine so that it can schedule further events.
+type Handler func(e *Engine)
+
+// Event is a scheduled occurrence inside the simulation. The zero value is
+// not useful; events are created by Engine.Schedule and friends.
+type Event struct {
+	time    float64
+	seq     uint64
+	index   int // position in the heap, -1 when not queued
+	handler Handler
+}
+
+// Time returns the simulation time at which the event fires (or fired).
+func (ev *Event) Time() float64 { return ev.time }
+
+// Pending reports whether the event is still queued (neither fired nor
+// cancelled).
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use; a simulation run is single-threaded by design and
+// parallelism belongs at the level of independent runs.
+type Engine struct {
+	now     float64
+	seq     uint64
+	heap    []*Event
+	fired   uint64
+	stopped bool
+}
+
+// New returns an engine with the clock at zero and an empty event queue.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far. Useful for
+// instrumentation and benchmarks.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Len returns the number of events currently queued.
+func (e *Engine) Len() int { return len(e.heap) }
+
+// Schedule enqueues handler to run after delay simulation seconds and
+// returns the event so that it can be cancelled. It panics if delay is
+// negative or NaN: scheduling into the past is always a model bug.
+func (e *Engine) Schedule(delay float64, handler Handler) *Event {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, handler)
+}
+
+// ScheduleAt enqueues handler to run at absolute simulation time t. It
+// panics if t precedes the current time.
+func (e *Engine) ScheduleAt(t float64, handler Handler) *Event {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
+	}
+	if handler == nil {
+		panic("des: nil handler")
+	}
+	e.seq++
+	ev := &Event{time: t, seq: e.seq, handler: handler}
+	e.push(ev)
+	return ev
+}
+
+// Cancel removes a pending event from the queue. Cancelling a nil, fired or
+// already-cancelled event is a no-op, which simplifies caller bookkeeping.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	e.remove(ev.index)
+	ev.index = -1
+	ev.handler = nil
+}
+
+// Step executes the single earliest event. It returns false when the queue
+// is empty or the engine was stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.heap) == 0 {
+		return false
+	}
+	ev := e.heap[0]
+	e.remove(0)
+	ev.index = -1
+	e.now = ev.time
+	h := ev.handler
+	ev.handler = nil
+	e.fired++
+	h(e)
+	return true
+}
+
+// Run executes events until the queue drains or the engine is stopped.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t
+// (if the clock has not already passed it). Events scheduled exactly at t
+// are executed.
+func (e *Engine) RunUntil(t float64) {
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].time <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts the run loop after the current event completes. Subsequent
+// Step calls return false. The queue contents are preserved so callers can
+// inspect residual events.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// less orders events by (time, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].index = i
+	e.heap[j].index = j
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+// remove deletes the element at index i, restoring the heap property.
+func (e *Engine) remove(i int) {
+	n := len(e.heap) - 1
+	if i != n {
+		e.swap(i, n)
+	}
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if i < n {
+		if !e.down(i) {
+			e.up(i)
+		}
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts element i toward the leaves; reports whether it moved.
+func (e *Engine) down(i int) bool {
+	start := i
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && e.less(right, left) {
+			best = right
+		}
+		if !e.less(best, i) {
+			break
+		}
+		e.swap(i, best)
+		i = best
+	}
+	return i > start
+}

@@ -1,0 +1,283 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3, func(*Engine) { got = append(got, 3) })
+	e.Schedule(1, func(*Engine) { got = append(got, 1) })
+	e.Schedule(2, func(*Engine) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := New()
+	var got []string
+	e.Schedule(5, func(*Engine) { got = append(got, "a") })
+	e.Schedule(5, func(*Engine) { got = append(got, "b") })
+	e.Schedule(5, func(*Engine) { got = append(got, "c") })
+	e.Run()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie order = %v, want [a b c]", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func(*Engine) { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending after Schedule")
+	}
+	e.Cancel(ev)
+	if ev.Pending() {
+		t.Fatal("event should not be pending after Cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []float64
+	var evs []*Event
+	times := []float64{9, 4, 7, 1, 8, 2, 6, 3, 5}
+	for _, d := range times {
+		d := d
+		evs = append(evs, e.Schedule(d, func(*Engine) { got = append(got, d) }))
+	}
+	// Cancel events with odd times.
+	for i, d := range times {
+		if int(d)%2 == 1 {
+			e.Cancel(evs[i])
+		}
+	}
+	e.Run()
+	want := []float64{2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := New()
+	var at float64
+	e.ScheduleAt(42, func(e *Engine) { at = e.Now() })
+	e.Run()
+	if at != 42 {
+		t.Fatalf("fired at %v, want 42", at)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	New().Schedule(-1, func(*Engine) {})
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for schedule in the past")
+		}
+	}()
+	e.ScheduleAt(5, func(*Engine) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil handler")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		d := d
+		e.Schedule(d, func(*Engine) { got = append(got, d) })
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events, want 3", len(got))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	// Advancing to a time with no events moves the clock.
+	e.RunUntil(3.5)
+	if e.Now() != 3.5 {
+		t.Fatalf("Now = %v, want 3.5", e.Now())
+	}
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(1, func(e *Engine) { count++; e.Stop() })
+	e.Schedule(2, func(*Engine) { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (stopped after first event)", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("engine should report stopped")
+	}
+	if e.Len() != 1 {
+		t.Fatalf("queue length = %d, want 1 residual event", e.Len())
+	}
+}
+
+func TestHandlerSchedulesMore(t *testing.T) {
+	e := New()
+	depth := 0
+	var recurse Handler
+	recurse = func(e *Engine) {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, recurse)
+		}
+	}
+	e.Schedule(1, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 10 {
+		t.Fatalf("Fired = %d, want 10", e.Fired())
+	}
+}
+
+// TestHeapPropertyRandom exercises the custom heap with random interleaved
+// schedules and cancellations and checks events fire in nondecreasing
+// time order.
+func TestHeapPropertyRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		e := New()
+		var fired []float64
+		var live []*Event
+		for i := 0; i < 500; i++ {
+			d := r.Float64() * 1000
+			live = append(live, e.Schedule(d, func(*Engine) { fired = append(fired, d) }))
+			if r.Intn(3) == 0 && len(live) > 0 {
+				k := r.Intn(len(live))
+				e.Cancel(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		e.Run()
+		if !sort.Float64sAreSorted(fired) {
+			t.Fatalf("trial %d: events fired out of order", trial)
+		}
+		if len(fired) != len(live) {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(fired), len(live))
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, running the engine fires
+// exactly one event per delay in sorted order.
+func TestQuickFiringOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var fired []float64
+		for _, d := range delays {
+			d := float64(d)
+			e.Schedule(d, func(*Engine) { fired = append(fired, d) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := New()
+		var fired []float64
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < 1000; i++ {
+			d := r.Float64() * 10
+			e.Schedule(d, func(e *Engine) { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		return fired
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	delays := make([]float64, 10000)
+	for i := range delays {
+		delays[i] = r.Float64() * 1e6
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for _, d := range delays {
+			e.Schedule(d, func(*Engine) {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,38 @@
+package des_test
+
+import (
+	"fmt"
+
+	"botgrid/internal/des"
+)
+
+// A machine that fails after 30 simulated seconds, cancelling the task
+// completion that was due at t=40.
+func Example() {
+	eng := des.New()
+	completion := eng.Schedule(40, func(e *des.Engine) {
+		fmt.Println("task completed at", e.Now())
+	})
+	eng.Schedule(30, func(e *des.Engine) {
+		fmt.Println("machine failed at", e.Now())
+		e.Cancel(completion)
+	})
+	eng.Run()
+	fmt.Println("clock:", eng.Now())
+	// Output:
+	// machine failed at 30
+	// clock: 30
+}
+
+func ExampleEngine_RunUntil() {
+	eng := des.New()
+	for _, t := range []float64{10, 20, 30} {
+		eng.ScheduleAt(t, func(e *des.Engine) { fmt.Println("event at", e.Now()) })
+	}
+	eng.RunUntil(20)
+	fmt.Println("paused at", eng.Now(), "with", eng.Len(), "event pending")
+	// Output:
+	// event at 10
+	// event at 20
+	// paused at 20 with 1 event pending
+}

@@ -1,0 +1,373 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/stats"
+	"botgrid/internal/workload"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Label string
+	CI    stats.Interval
+	// ReplicaOverhead is replicas started per task completed.
+	ReplicaOverhead float64
+	SaturatedReps   int
+	Reps            int
+}
+
+// AblationResult is a one-dimensional sweep over a design knob.
+type AblationResult struct {
+	Name    string
+	Caption string
+	Rows    []AblationRow
+}
+
+// WriteTable renders the ablation result.
+func (ar *AblationResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", ar.Name, ar.Caption); err != nil {
+		return err
+	}
+	out := [][]string{{"config", "mean turnaround", "replicas/task", "saturated"}}
+	for _, r := range ar.Rows {
+		overhead := "-"
+		if !math.IsNaN(r.ReplicaOverhead) {
+			overhead = fmt.Sprintf("%.2f", r.ReplicaOverhead)
+		}
+		out = append(out, []string{
+			r.Label,
+			fmt.Sprintf("%.0f ± %.0f", r.CI.Mean, r.CI.HalfWidth),
+			overhead,
+			fmt.Sprintf("%d/%d", r.SaturatedReps, r.Reps),
+		})
+	}
+	return writeAligned(w, out)
+}
+
+// ablate runs replications for a list of labelled config transformers over
+// a fixed (figure, granularity, policy) point.
+func ablate(name, caption string, f Figure, o Options, gran float64, pol core.PolicyKind,
+	variants []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}) (*AblationResult, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	ar := &AblationResult{Name: name, Caption: caption}
+	for _, v := range variants {
+		var acc, overhead stats.Accumulator
+		row := AblationRow{Label: v.label}
+		for rep := 0; rep < o.MinReps; rep++ {
+			cfg := o.CellConfig(f, gran, pol, rep)
+			v.mut(&cfg)
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.Saturated {
+				row.SaturatedReps++
+			}
+			if len(res.Bags) > 0 {
+				acc.Add(res.MeanTurnaround())
+			}
+			if res.TasksCompleted > 0 {
+				overhead.Add(float64(res.ReplicasStarted) / float64(res.TasksCompleted))
+			}
+			row.Reps++
+		}
+		row.CI = acc.CI(o.Confidence)
+		row.ReplicaOverhead = overhead.Mean()
+		ar.Rows = append(ar.Rows, row)
+	}
+	return ar, nil
+}
+
+// AblationThreshold is experiment A1: the §3.2 claim that replication
+// thresholds above 2 bring negligible benefit at much higher overhead.
+// It sweeps the WQR-FT threshold on Het-LowAvail at low intensity for the
+// 25000 s granularity (where replication matters most).
+func AblationThreshold(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F2b")
+	if err != nil {
+		return nil, err
+	}
+	var variants []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}
+	for _, thr := range []int{1, 2, 3, 4} {
+		thr := thr
+		variants = append(variants, struct {
+			label string
+			mut   func(*core.RunConfig)
+		}{
+			label: fmt.Sprintf("threshold=%d", thr),
+			mut:   func(c *core.RunConfig) { c.Sched.Threshold = thr },
+		})
+	}
+	return ablate("A1", "WQR-FT replication threshold sweep (Het-LowAvail, U=0.50, gran=25000)",
+		f, o, 25000, core.FCFSShare, variants)
+}
+
+// AblationDynamicReplication is experiment A2: the future-work dynamic
+// replication variant against static WQR-FT, on Het-LowAvail.
+func AblationDynamicReplication(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F2b")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}{
+		{"static (paper)", func(c *core.RunConfig) { c.Sched.DynamicReplication = false }},
+		{"dynamic", func(c *core.RunConfig) { c.Sched.DynamicReplication = true }},
+	}
+	return ablate("A2", "static vs dynamic replication (Het-LowAvail, U=0.50, gran=25000)",
+		f, o, 25000, core.RR, variants)
+}
+
+// AblationCheckpointing compares WQR-FT against plain WQR (no
+// checkpoint/restart) under low availability, quantifying what the
+// fault-tolerance layer buys.
+func AblationCheckpointing(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F2a")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}{
+		{"WQR-FT (checkpointing)", func(c *core.RunConfig) {}},
+		{"WQR (no checkpoints)", func(c *core.RunConfig) { c.Checkpoint.Enabled = false }},
+	}
+	return ablate("A4", "checkpointing on vs off (Hom-LowAvail, U=0.50, gran=125000)",
+		f, o, 125000, core.RR, variants)
+}
+
+// AblationMachineSelection compares knowledge-free arbitrary machine
+// selection against the knowledge-based fastest-machine-first variant on
+// the heterogeneous grid.
+func AblationMachineSelection(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F1b")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}{
+		{"arbitrary (knowledge-free)", func(c *core.RunConfig) {}},
+		{"fastest-first (knowledge-based)", func(c *core.RunConfig) { c.Sched.FastestMachineFirst = true }},
+	}
+	return ablate("A5", "machine selection: arbitrary vs fastest-first (Het-HighAvail, U=0.50, gran=25000)",
+		f, o, 25000, core.FCFSShare, variants)
+}
+
+// AblationServerCapacity is experiment A7: relaxing the paper's assumption
+// of contention-free checkpoint servers. It sweeps the server's concurrent
+// transfer capacity on Hom-LowAvail at the largest granularity, where
+// checkpoint traffic is heaviest.
+func AblationServerCapacity(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F2a")
+	if err != nil {
+		return nil, err
+	}
+	var variants []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}
+	for _, capacity := range []int{0, 16, 4, 1} {
+		capacity := capacity
+		label := fmt.Sprintf("capacity=%d", capacity)
+		if capacity == 0 {
+			label = "capacity=∞ (paper)"
+		}
+		variants = append(variants, struct {
+			label string
+			mut   func(*core.RunConfig)
+		}{
+			label: label,
+			mut:   func(c *core.RunConfig) { c.Checkpoint.Capacity = capacity },
+		})
+	}
+	return ablate("A7", "checkpoint server capacity (Hom-LowAvail, U=0.50, gran=125000)",
+		f, o, 125000, core.RR, variants)
+}
+
+// AblationTaskOrder is experiment A6: coupling the knowledge-free bag
+// selection with knowledge-based within-bag dispatch orders (the paper's
+// second future-work direction). LPT (longest-first) is the classic
+// makespan heuristic for parallel machines.
+func AblationTaskOrder(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F1b")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}{
+		{"arbitrary (WQR, knowledge-free)", func(c *core.RunConfig) { c.Sched.TaskOrder = core.ArbitraryOrder }},
+		{"longest-first (LPT, KB)", func(c *core.RunConfig) { c.Sched.TaskOrder = core.LongestFirst }},
+		{"shortest-first (SPT, KB)", func(c *core.RunConfig) { c.Sched.TaskOrder = core.ShortestFirst }},
+	}
+	return ablate("A6", "within-bag task order (Het-HighAvail, U=0.50, gran=25000)",
+		f, o, 25000, core.FCFSShare, variants)
+}
+
+// AblationTaskDistribution is experiment A8: sensitivity of the results to
+// the paper's uniform task-duration assumption. Heavy-tailed durations
+// (Weibull shape < 1, lognormal) are what real BoT traces show; WQR's
+// replication is expected to matter more when stragglers are longer.
+func AblationTaskDistribution(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F1b")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}{
+		{"uniform ±50% (paper)", func(c *core.RunConfig) { c.Workload.Dist = workload.UniformDist }},
+		{"weibull shape 0.8", func(c *core.RunConfig) {
+			c.Workload.Dist = workload.WeibullDist
+			c.Workload.DistShape = 0.8
+		}},
+		{"lognormal sigma 1.0", func(c *core.RunConfig) {
+			c.Workload.Dist = workload.LognormalDist
+			c.Workload.DistShape = 1.0
+		}},
+	}
+	return ablate("A8", "task-duration distribution (Het-HighAvail, U=0.50, gran=5000)",
+		f, o, 5000, core.FCFSShare, variants)
+}
+
+// AblationDiurnal is experiment A9: stationary failures (the paper's
+// model) against diurnal workday churn with the same long-run MTBF.
+func AblationDiurnal(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F2b")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}{
+		{"stationary (paper)", func(c *core.RunConfig) {}},
+		{"diurnal ×4", func(c *core.RunConfig) {
+			c.Grid.DiurnalPeriod = 86400
+			c.Grid.DiurnalPeakFactor = 4
+		}},
+	}
+	return ablate("A9", "stationary vs diurnal availability (Het-LowAvail, U=0.50, gran=25000)",
+		f, o, 25000, core.RR, variants)
+}
+
+// AblationSuspend is experiment A10: the paper's kill-and-resubmit failure
+// semantics against BOINC-style suspend-and-resume, where a departed
+// machine's replica keeps local progress and continues on return.
+func AblationSuspend(o Options) (*AblationResult, error) {
+	f, err := FigureByID("F2a")
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		label string
+		mut   func(*core.RunConfig)
+	}{
+		{"kill + resubmit (paper)", func(c *core.RunConfig) {}},
+		{"suspend + resume (BOINC)", func(c *core.RunConfig) { c.Sched.SuspendOnFailure = true }},
+	}
+	return ablate("A10", "failure semantics: kill vs suspend (Hom-LowAvail, U=0.50, gran=25000)",
+		f, o, 25000, core.RR, variants)
+}
+
+// MixedWorkloadStudy is experiment A3 (the paper's first future-work
+// direction): all four BoT types submitted simultaneously. It compares the
+// policies' mean turnaround per class on Het-HighAvail at medium intensity.
+type MixedRow struct {
+	Policy core.PolicyKind
+	// PerGran maps granularity to the mean turnaround of its bags.
+	PerGran map[float64]stats.Interval
+	Overall stats.Interval
+	// Saturated marks runs that hit the horizon.
+	SaturatedReps, Reps int
+}
+
+// MixedWorkloadStudy runs the mixed-granularity workload for each policy.
+func MixedWorkloadStudy(o Options) ([]MixedRow, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	f := Figure{ID: "A3", Caption: "mixed granularities", Het: grid.Het, Avail: grid.MedAvail, Util: 0.75}
+	var rows []MixedRow
+	for _, pol := range o.Policies {
+		row := MixedRow{Policy: pol, PerGran: map[float64]stats.Interval{}}
+		perGran := map[float64]*stats.Accumulator{}
+		var overall stats.Accumulator
+		for rep := 0; rep < o.MinReps; rep++ {
+			cfg := o.CellConfig(f, o.Granularities[0], pol, rep)
+			cfg.Workload.Granularities = o.Granularities
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.Saturated {
+				row.SaturatedReps++
+			}
+			row.Reps++
+			var mean stats.Accumulator
+			for _, b := range res.Bags {
+				if perGran[b.Granularity] == nil {
+					perGran[b.Granularity] = &stats.Accumulator{}
+				}
+				perGran[b.Granularity].Add(b.Turnaround)
+				mean.Add(b.Turnaround)
+			}
+			if mean.N() > 0 {
+				overall.Add(mean.Mean())
+			}
+		}
+		for g, a := range perGran {
+			row.PerGran[g] = a.CI(o.Confidence)
+		}
+		row.Overall = overall.CI(o.Confidence)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteMixedTable renders the mixed-workload study.
+func WriteMixedTable(w io.Writer, o Options, rows []MixedRow) error {
+	o = o.withDefaults()
+	if _, err := fmt.Fprintln(w, "A3 — mixed-granularity workload (Het-MedAvail, U=0.75)"); err != nil {
+		return err
+	}
+	header := []string{"policy", "overall"}
+	for _, g := range o.Granularities {
+		header = append(header, fmt.Sprintf("gran=%.0f", g))
+	}
+	out := [][]string{header}
+	for _, r := range rows {
+		line := []string{r.Policy.String(), fmt.Sprintf("%.0f", r.Overall.Mean)}
+		for _, g := range o.Granularities {
+			if ci, ok := r.PerGran[g]; ok {
+				line = append(line, fmt.Sprintf("%.0f", ci.Mean))
+			} else {
+				line = append(line, "-")
+			}
+		}
+		out = append(out, line)
+	}
+	return writeAligned(w, out)
+}

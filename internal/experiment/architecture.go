@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+
+	"botgrid/internal/core"
+	"botgrid/internal/multisite"
+	"botgrid/internal/stats"
+)
+
+// AblationArchitecture is experiment A11: the centralized scheduler the
+// paper argues for against distributed multi-site variants (cf. Beaumont
+// et al., the paper's related work [4]). All variants share WQR-FT,
+// checkpointing and the availability model; only the scheduling
+// architecture differs. Run on Hom-HighAvail at U=0.50 with the 25000 s
+// granularity, where bags (100 tasks) match the whole grid's machine count
+// and partitioning hurts most.
+func AblationArchitecture(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := FigureByID("F1a")
+	if err != nil {
+		return nil, err
+	}
+	const gran = 25000.0
+	ar := &AblationResult{
+		Name:    "A11",
+		Caption: "centralized vs distributed sites (Hom-HighAvail, U=0.50, gran=25000)",
+	}
+
+	type variant struct {
+		label    string
+		sites    int
+		dispatch multisite.Dispatch
+	}
+	variants := []variant{
+		{"centralized (paper)", 0, 0},
+		{"2 sites, rr-site", 2, multisite.RoundRobinSite},
+		{"5 sites, rr-site", 5, multisite.RoundRobinSite},
+		{"5 sites, least-loaded", 5, multisite.LeastLoadedSite},
+	}
+	for _, v := range variants {
+		var acc, overhead stats.Accumulator
+		row := AblationRow{Label: v.label}
+		for rep := 0; rep < o.MinReps; rep++ {
+			base := o.CellConfig(f, gran, core.FCFSShare, rep)
+			if v.sites == 0 {
+				res, err := core.Run(base)
+				if err != nil {
+					return nil, err
+				}
+				if res.Saturated {
+					row.SaturatedReps++
+				}
+				if len(res.Bags) > 0 {
+					acc.Add(res.MeanTurnaround())
+				}
+				if res.TasksCompleted > 0 {
+					overhead.Add(float64(res.ReplicasStarted) / float64(res.TasksCompleted))
+				}
+			} else {
+				res, err := multisite.Run(multisite.Config{
+					Seed:       base.Seed,
+					Grid:       base.Grid,
+					Sites:      v.sites,
+					Dispatch:   v.dispatch,
+					Policy:     base.Policy,
+					Sched:      base.Sched,
+					Checkpoint: base.Checkpoint,
+					Workload:   base.Workload,
+					NumBoTs:    base.NumBoTs,
+					Warmup:     base.Warmup,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.Saturated {
+					row.SaturatedReps++
+				}
+				if len(res.Bags) > 0 {
+					acc.Add(res.MeanTurnaround())
+				}
+			}
+			row.Reps++
+		}
+		row.CI = acc.CI(o.Confidence)
+		row.ReplicaOverhead = overhead.Mean()
+		ar.Rows = append(ar.Rows, row)
+	}
+	if len(ar.Rows) == 0 {
+		return nil, fmt.Errorf("experiment: architecture study produced no rows")
+	}
+	return ar, nil
+}

@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"botgrid/internal/stats"
+)
+
+// WriteTable renders a figure panel as a text table: one row per
+// granularity, one column per policy, mean turnaround ± CI half-width (or
+// SATURATED) in each cell — the tabular form of the paper's bar charts.
+func (fr *FigureResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", fr.Figure.ID, fr.Figure.Caption); err != nil {
+		return err
+	}
+	cols := []string{"granularity"}
+	for _, p := range fr.Options.Policies {
+		cols = append(cols, p.String())
+	}
+	rows := [][]string{cols}
+	for _, row := range fr.Cells {
+		if len(row) == 0 {
+			continue
+		}
+		line := []string{fmt.Sprintf("%.0f", row[0].Granularity)}
+		for _, c := range row {
+			line = append(line, c.Label())
+		}
+		rows = append(rows, line)
+	}
+	return writeAligned(w, rows)
+}
+
+// writeAligned pads columns to a shared width.
+func writeAligned(w io.Writer, rows [][]string) error {
+	widths := make([]int, 0)
+	for _, r := range rows {
+		for i, cell := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, r := range rows {
+		var sb strings.Builder
+		for i, cell := range r {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChart renders the panel as grouped horizontal ASCII bars, one group
+// per granularity — the closest terminal analogue of the paper's grouped
+// histograms. Saturated cells draw a full bar ending in '>>'.
+func (fr *FigureResult) WriteChart(w io.Writer) error {
+	const barWidth = 46
+	if _, err := fmt.Fprintf(w, "%s — %s\n", fr.Figure.ID, fr.Figure.Caption); err != nil {
+		return err
+	}
+	// Scale bars to the largest non-saturated mean.
+	maxMean := 0.0
+	for _, row := range fr.Cells {
+		for _, c := range row {
+			if !c.Saturated && c.CI.Mean > maxMean {
+				maxMean = c.CI.Mean
+			}
+		}
+	}
+	if maxMean == 0 {
+		maxMean = 1
+	}
+	nameW := 0
+	for _, p := range fr.Options.Policies {
+		if len(p.String()) > nameW {
+			nameW = len(p.String())
+		}
+	}
+	for _, row := range fr.Cells {
+		if len(row) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "granularity %.0f s\n", row[0].Granularity); err != nil {
+			return err
+		}
+		for _, c := range row {
+			var bar, label string
+			if c.Saturated {
+				bar = strings.Repeat("#", barWidth) + ">>"
+				label = "SATURATED"
+			} else {
+				n := int(float64(barWidth) * c.CI.Mean / maxMean)
+				if n < 1 {
+					n = 1
+				}
+				bar = strings.Repeat("#", n)
+				label = c.Label()
+			}
+			if _, err := fmt.Fprintf(w, "  %-*s %s %s\n", nameW, c.Policy.String(), bar, label); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSignificance renders, per granularity, the pairwise Welch's t-test
+// matrix between policies: '<' means the row policy is significantly
+// faster than the column policy, '>' significantly slower, '=' a
+// statistical tie, 'S' that either cell saturated. This is the rigorous
+// form of the paper's "no clear winner" claim.
+func (fr *FigureResult) WriteSignificance(w io.Writer) error {
+	level := fr.Options.Confidence
+	if level == 0 {
+		level = 0.95
+	}
+	pols := fr.Options.Policies
+	for _, row := range fr.Cells {
+		if len(row) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s granularity %.0f\n", fr.Figure.ID, row[0].Granularity); err != nil {
+			return err
+		}
+		header := []string{""}
+		for _, p := range pols {
+			header = append(header, p.String())
+		}
+		out := [][]string{header}
+		for i, a := range row {
+			line := []string{pols[i].String()}
+			for j, b := range row {
+				switch {
+				case i == j:
+					line = append(line, ".")
+				case a.Saturated || b.Saturated:
+					line = append(line, "S")
+				case !stats.IntervalsDiffer(a.CI, b.CI, level):
+					line = append(line, "=")
+				case a.CI.Mean < b.CI.Mean:
+					line = append(line, "<")
+				default:
+					line = append(line, ">")
+				}
+			}
+			out = append(out, line)
+		}
+		if err := writeAligned(w, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary prints the winning policy per granularity, the view used to
+// check the paper's qualitative conclusions ("FCFS-based win at small
+// granularity, RR-based at large"). Winners are tested against the
+// runner-up with Welch's t-test: a statistically indistinguishable pair is
+// reported as a tie — the honest rendering of the paper's "no clear
+// winner" finding.
+func (fr *FigureResult) WriteSummary(w io.Writer) error {
+	level := fr.Options.Confidence
+	if level == 0 {
+		level = 0.95
+	}
+	for _, row := range fr.Cells {
+		if len(row) == 0 {
+			continue
+		}
+		g := row[0].Granularity
+		winner, ok := fr.Winner(g)
+		if !ok {
+			if _, err := fmt.Fprintf(w, "%s gran=%-7.0f all policies saturated\n",
+				fr.Figure.ID, g); err != nil {
+				return err
+			}
+			continue
+		}
+		best, _ := fr.Cell(g, winner)
+		// Find the runner-up among non-saturated cells.
+		var second *Cell
+		for i := range row {
+			c := &row[i]
+			if c.Saturated || c.Policy == winner {
+				continue
+			}
+			if second == nil || c.CI.Mean < second.CI.Mean {
+				second = c
+			}
+		}
+		note := ""
+		if second != nil && !stats.IntervalsDiffer(best.CI, second.CI, level) {
+			note = fmt.Sprintf("  (statistical tie with %s)", second.Policy)
+		}
+		if _, err := fmt.Fprintf(w, "%s gran=%-7.0f winner=%-10s mean=%.0f%s\n",
+			fr.Figure.ID, g, winner, best.CI.Mean, note); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"botgrid/internal/core"
+	"botgrid/internal/stats"
+)
+
+// Cell is one (granularity, policy) point of a figure: the replicated mean
+// turnaround with its confidence interval.
+type Cell struct {
+	// Granularity and Policy identify the point.
+	Granularity float64
+	Policy      core.PolicyKind
+	// CI is the confidence interval over per-replication mean
+	// turnarounds (completed bags only for saturated replications).
+	CI stats.Interval
+	// Reps is the number of replications run.
+	Reps int
+	// SaturatedReps counts replications that hit the horizon with
+	// incomplete bags.
+	SaturatedReps int
+	// Saturated marks a cell where the majority of replications
+	// saturated — the paper's "histogram bar over the frame".
+	Saturated bool
+	// MeanWaiting and MeanMakespan decompose the turnaround.
+	MeanWaiting, MeanMakespan float64
+	// ReplicaOverhead is replicas started per task completed, averaged
+	// over replications — the price of knowledge-freeness.
+	ReplicaOverhead float64
+	// P50 and P95 are pooled turnaround percentiles across all
+	// replications' measured bags (tail behaviour matters for
+	// interactive desktop-grid users).
+	P50, P95 float64
+	// MeanSlowdown is the pooled mean of per-bag slowdowns (turnaround
+	// over the bag's ideal makespan).
+	MeanSlowdown float64
+	// Fairness is Jain's index over pooled per-bag slowdowns: 1 means
+	// every bag was slowed equally, lower values mean some users starve.
+	Fairness float64
+}
+
+// Label renders the cell value as the figures do: the mean, or "SAT" when
+// the configuration saturates.
+func (c Cell) Label() string {
+	if c.Saturated {
+		return "SATURATED"
+	}
+	return fmt.Sprintf("%.0f ± %.0f", c.CI.Mean, c.CI.HalfWidth)
+}
+
+// FigureResult holds every cell of one figure panel.
+type FigureResult struct {
+	Figure  Figure
+	Options Options
+	// Cells is indexed [granularity][policy] following the options'
+	// Granularities and Policies order.
+	Cells [][]Cell
+}
+
+// Cell returns the cell for a granularity/policy pair.
+func (fr *FigureResult) Cell(granularity float64, policy core.PolicyKind) (Cell, bool) {
+	for _, row := range fr.Cells {
+		for _, c := range row {
+			if c.Granularity == granularity && c.Policy == policy {
+				return c, true
+			}
+		}
+	}
+	return Cell{}, false
+}
+
+// Winner returns the policy with the lowest mean turnaround for a
+// granularity, preferring non-saturated cells. ok is false when every cell
+// saturated.
+func (fr *FigureResult) Winner(granularity float64) (core.PolicyKind, bool) {
+	best := -1
+	var row []Cell
+	for _, r := range fr.Cells {
+		if len(r) > 0 && r[0].Granularity == granularity {
+			row = r
+			break
+		}
+	}
+	for i, c := range row {
+		if c.Saturated {
+			continue
+		}
+		if best < 0 || c.CI.Mean < row[best].CI.Mean {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return row[best].Policy, true
+}
+
+// RunFigure reproduces one figure panel: for every granularity × policy it
+// runs replications (in parallel, bounded by Options.Parallelism) until the
+// confidence target is met or MaxReps is reached.
+func RunFigure(f Figure, o Options) (*FigureResult, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	fr := &FigureResult{Figure: f, Options: o}
+	fr.Cells = make([][]Cell, len(o.Granularities))
+
+	sem := make(chan struct{}, o.Parallelism)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+
+	for gi, gran := range o.Granularities {
+		fr.Cells[gi] = make([]Cell, len(o.Policies))
+		for pi, pol := range o.Policies {
+			gi, pi, gran, pol := gi, pi, gran, pol
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cell, err := runCell(f, o, gran, pol, sem)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				fr.Cells[gi][pi] = cell
+			}()
+		}
+	}
+	wg.Wait()
+	return fr, firstErr
+}
+
+// runCell runs the sequential replication procedure for one cell. The
+// semaphore bounds global concurrency across cells.
+func runCell(f Figure, o Options, gran float64, pol core.PolicyKind, sem chan struct{}) (Cell, error) {
+	cell := Cell{Granularity: gran, Policy: pol}
+	var acc, waiting, makespan, overhead stats.Accumulator
+	var pooled, slowdowns []float64
+
+	runRep := func(rep int) error {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		res, err := core.Run(o.CellConfig(f, gran, pol, rep))
+		if err != nil {
+			return err
+		}
+		var w, m stats.Accumulator
+		for _, b := range res.Bags {
+			w.Add(b.Waiting)
+			m.Add(b.Makespan)
+			pooled = append(pooled, b.Turnaround)
+			slowdowns = append(slowdowns, b.Slowdown)
+		}
+		if res.Saturated {
+			cell.SaturatedReps++
+		}
+		if len(res.Bags) > 0 {
+			acc.Add(res.MeanTurnaround())
+			waiting.Add(w.Mean())
+			makespan.Add(m.Mean())
+		}
+		if res.TasksCompleted > 0 {
+			overhead.Add(float64(res.ReplicasStarted) / float64(res.TasksCompleted))
+		}
+		cell.Reps++
+		return nil
+	}
+
+	// Replications run sequentially within a cell (the CI decides when to
+	// stop); cells themselves run in parallel.
+	for rep := 0; rep < o.MinReps; rep++ {
+		if err := runRep(rep); err != nil {
+			return cell, err
+		}
+	}
+	for rep := o.MinReps; rep < o.MaxReps; rep++ {
+		ci := acc.CI(o.Confidence)
+		if acc.N() >= 2 && ci.RelErr() <= o.RelErr {
+			break
+		}
+		if cell.SaturatedReps*2 > cell.Reps {
+			break // saturated cells never converge; stop early
+		}
+		if err := runRep(rep); err != nil {
+			return cell, err
+		}
+	}
+
+	cell.CI = acc.CI(o.Confidence)
+	cell.Saturated = cell.SaturatedReps*2 > cell.Reps
+	cell.MeanWaiting = waiting.Mean()
+	cell.MeanMakespan = makespan.Mean()
+	cell.ReplicaOverhead = overhead.Mean()
+	cell.P50 = percentile(pooled, 0.50)
+	cell.P95 = percentile(pooled, 0.95)
+	var sd stats.Accumulator
+	sd.AddAll(slowdowns)
+	cell.MeanSlowdown = sd.Mean()
+	cell.Fairness = stats.JainIndex(slowdowns)
+	return cell, nil
+}
+
+// percentile returns the q-quantile of xs by nearest-rank on a sorted
+// copy; NaN when empty.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// RunFigures runs several panels and returns them keyed by figure ID.
+func RunFigures(figs []Figure, o Options) (map[string]*FigureResult, error) {
+	out := make(map[string]*FigureResult, len(figs))
+	for _, f := range figs {
+		fr, err := RunFigure(f, o)
+		if err != nil {
+			return nil, err
+		}
+		out[f.ID] = fr
+	}
+	return out, nil
+}
+
+// SortedIDs returns the figure IDs of a result map in catalog order.
+func SortedIDs(m map[string]*FigureResult) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	order := make(map[string]int, len(Figures))
+	for i, f := range Figures {
+		order[f.ID] = i
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		oi, iOK := order[ids[i]]
+		oj, jOK := order[ids[j]]
+		if iOK && jOK {
+			return oi < oj
+		}
+		if iOK != jOK {
+			return iOK
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

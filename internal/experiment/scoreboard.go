@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"botgrid/internal/core"
+	"botgrid/internal/stats"
+)
+
+// ScoreRow aggregates one policy's record across a result set.
+type ScoreRow struct {
+	Policy core.PolicyKind
+	// Wins counts cells where the policy had the lowest mean turnaround
+	// among non-saturated policies.
+	Wins int
+	// SignificantWins counts wins confirmed against the runner-up by
+	// Welch's t-test.
+	SignificantWins int
+	// Saturations counts cells where the policy saturated.
+	Saturations int
+	// SmallGranWins and LargeGranWins split wins at the 10000 s boundary,
+	// the axis along which the paper's ranking reverses.
+	SmallGranWins, LargeGranWins int
+	// MeanRank is the policy's average rank (1 = best) over cells where
+	// it did not saturate.
+	MeanRank float64
+}
+
+// Scoreboard summarizes who wins where across many figure panels — the
+// quantitative form of the paper's conclusions ("FCFS-based better at
+// small granularities, the reverse at larger ones, no clear winner").
+func Scoreboard(results map[string]*FigureResult) []ScoreRow {
+	byPolicy := map[core.PolicyKind]*ScoreRow{}
+	rankAcc := map[core.PolicyKind]*stats.Accumulator{}
+	ensure := func(p core.PolicyKind) *ScoreRow {
+		if byPolicy[p] == nil {
+			byPolicy[p] = &ScoreRow{Policy: p}
+			rankAcc[p] = &stats.Accumulator{}
+		}
+		return byPolicy[p]
+	}
+	for _, id := range SortedIDs(results) {
+		fr := results[id]
+		level := fr.Options.Confidence
+		if level == 0 {
+			level = 0.95
+		}
+		for _, row := range fr.Cells {
+			// Rank non-saturated cells by mean turnaround.
+			idx := make([]int, 0, len(row))
+			for i, c := range row {
+				if c.Saturated {
+					ensure(c.Policy).Saturations++
+					continue
+				}
+				idx = append(idx, i)
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				return row[idx[a]].CI.Mean < row[idx[b]].CI.Mean
+			})
+			for rank, i := range idx {
+				c := row[i]
+				ensure(c.Policy)
+				rankAcc[c.Policy].Add(float64(rank + 1))
+				if rank == 0 {
+					r := byPolicy[c.Policy]
+					r.Wins++
+					if c.Granularity < 10000 {
+						r.SmallGranWins++
+					} else {
+						r.LargeGranWins++
+					}
+					if len(idx) > 1 {
+						second := row[idx[1]]
+						if stats.IntervalsDiffer(c.CI, second.CI, level) {
+							r.SignificantWins++
+						}
+					}
+				}
+			}
+		}
+	}
+	var rows []ScoreRow
+	for p, r := range byPolicy {
+		r.MeanRank = rankAcc[p].Mean()
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Wins != rows[j].Wins {
+			return rows[i].Wins > rows[j].Wins
+		}
+		return rows[i].Policy < rows[j].Policy
+	})
+	return rows
+}
+
+// WriteScoreboard renders the scoreboard.
+func WriteScoreboard(w io.Writer, rows []ScoreRow) error {
+	if _, err := fmt.Fprintln(w, "scoreboard — wins per policy across all panels"); err != nil {
+		return err
+	}
+	out := [][]string{{"policy", "wins", "significant", "small-gran", "large-gran", "mean-rank", "saturations"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy.String(),
+			fmt.Sprintf("%d", r.Wins),
+			fmt.Sprintf("%d", r.SignificantWins),
+			fmt.Sprintf("%d", r.SmallGranWins),
+			fmt.Sprintf("%d", r.LargeGranWins),
+			fmt.Sprintf("%.2f", r.MeanRank),
+			fmt.Sprintf("%d", r.Saturations),
+		})
+	}
+	return writeAligned(w, out)
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"botgrid/internal/plot"
+)
+
+// Chart converts the panel into a grouped bar chart mirroring the paper's
+// figures: granularity groups on x, one bar per policy, log-scale mean
+// turnaround with CI whiskers and explicit saturation markers.
+func (fr *FigureResult) Chart() *plot.BarChart {
+	c := &plot.BarChart{
+		Title:    fr.Figure.ID + " — " + fr.Options.GridConfig(fr.Figure).Name(),
+		Subtitle: fr.Figure.Caption,
+		YLabel:   "mean turnaround (s)",
+		LogY:     true,
+	}
+	for _, row := range fr.Cells {
+		if len(row) == 0 {
+			continue
+		}
+		c.Groups = append(c.Groups, fmt.Sprintf("%.0f s", row[0].Granularity))
+	}
+	for pi, pol := range fr.Options.Policies {
+		s := plot.Series{Name: pol.String()}
+		for _, row := range fr.Cells {
+			if len(row) == 0 {
+				continue
+			}
+			cell := row[pi]
+			if cell.Saturated {
+				s.Values = append(s.Values, math.NaN())
+				s.Errors = append(s.Errors, math.NaN())
+				s.Saturated = append(s.Saturated, true)
+				continue
+			}
+			s.Values = append(s.Values, cell.CI.Mean)
+			s.Errors = append(s.Errors, cell.CI.HalfWidth)
+			s.Saturated = append(s.Saturated, false)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// WriteSVG renders the panel as a standalone SVG figure.
+func (fr *FigureResult) WriteSVG(w io.Writer) error {
+	return fr.Chart().WriteSVG(w)
+}

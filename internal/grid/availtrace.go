@@ -1,0 +1,133 @@
+package grid
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"botgrid/internal/des"
+)
+
+// AvailEvent is one machine availability transition. Sequences of events
+// form an availability trace that can be recorded from a synthetic run and
+// replayed deterministically — the stand-in for the real-world host
+// availability traces (Nurmi/Brevik/Wolski) the paper's model is fit to.
+type AvailEvent struct {
+	// Time is the simulation time of the transition.
+	Time float64 `json:"t"`
+	// Machine is the machine index within the grid.
+	Machine int `json:"machine"`
+	// Up is the machine's state after the transition.
+	Up bool `json:"up"`
+}
+
+// AvailRecorder implements Listener, recording every transition while
+// forwarding to an optional inner listener.
+type AvailRecorder struct {
+	eng    *des.Engine
+	inner  Listener
+	events []AvailEvent
+}
+
+// NewAvailRecorder builds a recorder reading times from eng. inner may be
+// nil.
+func NewAvailRecorder(eng *des.Engine, inner Listener) *AvailRecorder {
+	return &AvailRecorder{eng: eng, inner: inner}
+}
+
+// Events returns the recorded transitions in time order.
+func (r *AvailRecorder) Events() []AvailEvent { return r.events }
+
+// MachineFailed implements Listener.
+func (r *AvailRecorder) MachineFailed(m *Machine) {
+	r.events = append(r.events, AvailEvent{Time: r.eng.Now(), Machine: m.ID, Up: false})
+	if r.inner != nil {
+		r.inner.MachineFailed(m)
+	}
+}
+
+// MachineRepaired implements Listener.
+func (r *AvailRecorder) MachineRepaired(m *Machine) {
+	r.events = append(r.events, AvailEvent{Time: r.eng.Now(), Machine: m.ID, Up: true})
+	if r.inner != nil {
+		r.inner.MachineRepaired(m)
+	}
+}
+
+var _ Listener = (*AvailRecorder)(nil)
+
+// Replay schedules an availability trace against the grid on engine e,
+// instead of (not in addition to) Start's stochastic processes. Events
+// must be time-ordered, reference valid machines, and alternate states per
+// machine given that all machines start up.
+func (g *Grid) Replay(e *des.Engine, events []AvailEvent, l Listener) error {
+	prev := -1.0
+	up := make([]bool, len(g.Machines))
+	for i := range up {
+		up[i] = g.Machines[i].Up()
+	}
+	for i, ev := range events {
+		if ev.Machine < 0 || ev.Machine >= len(g.Machines) {
+			return fmt.Errorf("grid: replay event %d references machine %d of %d", i, ev.Machine, len(g.Machines))
+		}
+		if ev.Time < prev {
+			return fmt.Errorf("grid: replay event %d out of order (t=%v after %v)", i, ev.Time, prev)
+		}
+		if up[ev.Machine] == ev.Up {
+			return fmt.Errorf("grid: replay event %d does not alternate machine %d state", i, ev.Machine)
+		}
+		prev = ev.Time
+		up[ev.Machine] = ev.Up
+	}
+	for _, ev := range events {
+		ev := ev
+		m := g.Machines[ev.Machine]
+		e.ScheduleAt(ev.Time, func(e *des.Engine) {
+			if ev.Up {
+				m.ForceRepair(e.Now())
+				if l != nil {
+					l.MachineRepaired(m)
+				}
+			} else {
+				m.ForceFail(e.Now())
+				if l != nil {
+					l.MachineFailed(m)
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// WriteAvailTrace serializes an availability trace as JSON Lines.
+func WriteAvailTrace(w io.Writer, events []AvailEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAvailTrace parses a JSONL availability trace.
+func ReadAvailTrace(r io.Reader) ([]AvailEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var events []AvailEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev AvailEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("grid: trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	return events, sc.Err()
+}

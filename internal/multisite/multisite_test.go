@@ -1,0 +1,190 @@
+package multisite
+
+import (
+	"math"
+	"testing"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/workload"
+)
+
+func testConfig(sites int, d Dispatch) Config {
+	gc := grid.DefaultConfig(grid.Hom, grid.HighAvail)
+	gc.TotalPower = 100
+	lambda := workload.LambdaForUtilization(0.5, 20000,
+		core.EffectivePower(gc, checkpoint.DefaultConfig()))
+	return Config{
+		Seed:     1,
+		Grid:     gc,
+		Sites:    sites,
+		Dispatch: d,
+		Policy:   core.FCFSShare,
+		Workload: workload.Config{
+			Granularities: []float64{1000},
+			AppSize:       20000,
+			Spread:        0.5,
+			Lambda:        lambda,
+		},
+		NumBoTs: 30,
+		Warmup:  5,
+	}
+}
+
+func TestDistributedRunCompletes(t *testing.T) {
+	for _, d := range []Dispatch{RoundRobinSite, RandomSite, LeastLoadedSite} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(testConfig(2, d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Saturated || res.Completed != 30 {
+				t.Fatalf("completed=%d saturated=%v", res.Completed, res.Saturated)
+			}
+			if len(res.Bags) != 25 {
+				t.Fatalf("collected %d bags, want 25", len(res.Bags))
+			}
+			total := 0
+			for _, n := range res.PerSite {
+				total += n
+			}
+			if total != 30 {
+				t.Fatalf("per-site sum %d, want 30", total)
+			}
+			if m := res.MeanTurnaround(); math.IsNaN(m) || m <= 0 {
+				t.Fatalf("mean turnaround %v", m)
+			}
+		})
+	}
+}
+
+func TestSingleSiteMatchesCentralizedShape(t *testing.T) {
+	// One site is architecturally identical to the centralized scheduler;
+	// results must be in the same ballpark (streams differ by name, so
+	// exact equality is not expected).
+	dist, err := Run(testConfig(1, RoundRobinSite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := grid.DefaultConfig(grid.Hom, grid.HighAvail)
+	gc.TotalPower = 100
+	cent, err := core.Run(core.RunConfig{
+		Seed:     1,
+		Grid:     gc,
+		Workload: testConfig(1, RoundRobinSite).Workload,
+		Policy:   core.FCFSShare,
+		NumBoTs:  30,
+		Warmup:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := dist.MeanTurnaround(), cent.MeanTurnaround()
+	if a > 3*b || b > 3*a {
+		t.Fatalf("single-site (%v) and centralized (%v) diverge wildly", a, b)
+	}
+}
+
+func TestRoundRobinDispatchBalances(t *testing.T) {
+	res, err := Run(testConfig(3, RoundRobinSite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.PerSite {
+		if n == 0 {
+			t.Fatalf("site %d received no bags", i)
+		}
+	}
+	// Round robin keeps counts within 1 of each other at submission;
+	// completions can differ slightly but not grossly.
+	min, max := res.PerSite[0], res.PerSite[0]
+	for _, n := range res.PerSite {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 2 {
+		t.Fatalf("round-robin dispatch skew: %v", res.PerSite)
+	}
+}
+
+func TestDistributedLosesToCentralizedOnWideBags(t *testing.T) {
+	// A bag whose task count matches the whole grid (10 tasks, 10
+	// machines) finishes in one wave under the centralized scheduler but
+	// needs five waves on a 2-machine site. At low load (little
+	// queueing) the partitioning penalty dominates.
+	cfg := testConfig(5, RoundRobinSite)
+	cfg.Workload.Granularities = []float64{2000} // 10 tasks per bag
+	cfg.Workload.Lambda /= 2                     // low load: makespan-bound
+	dist, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := core.Run(core.RunConfig{
+		Seed:     1,
+		Grid:     cfg.Grid,
+		Workload: cfg.Workload,
+		Policy:   core.FCFSShare,
+		NumBoTs:  cfg.NumBoTs,
+		Warmup:   cfg.Warmup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Saturated || cent.Saturated {
+		t.Fatal("unexpected saturation")
+	}
+	if dist.MeanTurnaround() <= cent.MeanTurnaround() {
+		t.Fatalf("distributed (%v) should lose to centralized (%v) on coarse bags",
+			dist.MeanTurnaround(), cent.MeanTurnaround())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := testConfig(0, RoundRobinSite)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Sites=0 accepted")
+	}
+	cfg = testConfig(1, RoundRobinSite)
+	cfg.NumBoTs = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("NumBoTs=0 accepted")
+	}
+	cfg = testConfig(1, RoundRobinSite)
+	cfg.Workload.Lambda = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+	cfg = testConfig(1, RoundRobinSite)
+	cfg.Warmup = cfg.NumBoTs
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Warmup=NumBoTs accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(testConfig(3, LeastLoadedSite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(3, LeastLoadedSite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanTurnaround() != b.MeanTurnaround() {
+		t.Fatal("distributed runs with same seed diverged")
+	}
+}
+
+func TestDispatchNames(t *testing.T) {
+	if RoundRobinSite.String() != "rr-site" || RandomSite.String() != "random-site" ||
+		LeastLoadedSite.String() != "least-loaded" {
+		t.Fatal("dispatch names wrong")
+	}
+}

@@ -1,0 +1,308 @@
+// Package plot renders experiment results as standalone SVG documents
+// using only the standard library. Its grouped-bar layout mirrors the
+// paper's evaluation figures: one group per task granularity, one bar per
+// policy, mean turnaround on a linear or logarithmic y axis, error
+// whiskers for confidence intervals, and an explicit marker for saturated
+// configurations (the paper's "bar over the frame").
+package plot
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one bar per group: a named policy with a value per group.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Values holds the bar heights, one per group; NaN marks a missing
+	// value.
+	Values []float64
+	// Errors holds CI half-widths (same length as Values); zero or NaN
+	// draws no whisker.
+	Errors []float64
+	// Saturated marks groups where the configuration saturated; the bar
+	// is drawn to full height with a hatch and "SAT" label.
+	Saturated []bool
+}
+
+// BarChart is a grouped bar chart specification.
+type BarChart struct {
+	// Title is drawn above the plot.
+	Title string
+	// Subtitle is drawn under the title in a smaller font.
+	Subtitle string
+	// Groups are the x-axis group labels (e.g. granularities).
+	Groups []string
+	// Series are the bars within each group (e.g. policies).
+	Series []Series
+	// YLabel annotates the y axis.
+	YLabel string
+	// LogY selects a log10 y axis, the natural scale for the paper's
+	// figures where saturated cells are orders of magnitude taller.
+	LogY bool
+	// Width and Height are the canvas size in pixels; zero values get
+	// sensible defaults.
+	Width, Height int
+}
+
+// palette is a color-blind-friendly categorical palette (Okabe-Ito).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7",
+	"#56B4E9", "#F0E442", "#000000",
+}
+
+// Validate reports structural errors in the specification.
+func (c *BarChart) Validate() error {
+	if len(c.Groups) == 0 {
+		return fmt.Errorf("plot: no groups")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Groups) {
+			return fmt.Errorf("plot: series %q has %d values for %d groups",
+				s.Name, len(s.Values), len(c.Groups))
+		}
+		if s.Errors != nil && len(s.Errors) != len(c.Groups) {
+			return fmt.Errorf("plot: series %q has %d errors for %d groups",
+				s.Name, len(s.Errors), len(c.Groups))
+		}
+		if s.Saturated != nil && len(s.Saturated) != len(c.Groups) {
+			return fmt.Errorf("plot: series %q has %d saturation flags for %d groups",
+				s.Name, len(s.Saturated), len(c.Groups))
+		}
+	}
+	return nil
+}
+
+// WriteSVG renders the chart.
+func (c *BarChart) WriteSVG(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 760
+	}
+	if height <= 0 {
+		height = 420
+	}
+	const (
+		marginLeft   = 78.0
+		marginRight  = 16.0
+		marginTop    = 56.0
+		marginBottom = 72.0
+	)
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+
+	maxVal, minPos := 0.0, math.Inf(1)
+	for _, s := range c.Series {
+		for i, v := range s.Values {
+			if s.sat(i) || math.IsNaN(v) {
+				continue
+			}
+			hi := v
+			if s.Errors != nil && !math.IsNaN(s.Errors[i]) {
+				hi += s.Errors[i]
+			}
+			if hi > maxVal {
+				maxVal = hi
+			}
+			if v > 0 && v < minPos {
+				minPos = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	if math.IsInf(minPos, 1) {
+		minPos = maxVal / 10
+	}
+
+	// y mapping.
+	var yMinV, yMaxV float64
+	if c.LogY {
+		yMinV = math.Pow(10, math.Floor(math.Log10(minPos)))
+		yMaxV = math.Pow(10, math.Ceil(math.Log10(maxVal)))
+		if yMaxV <= yMinV {
+			yMaxV = yMinV * 10
+		}
+	} else {
+		yMinV = 0
+		yMaxV = niceCeil(maxVal)
+	}
+	yPos := func(v float64) float64 {
+		var frac float64
+		if c.LogY {
+			frac = (math.Log10(v) - math.Log10(yMinV)) / (math.Log10(yMaxV) - math.Log10(yMinV))
+		} else {
+			frac = (v - yMinV) / (yMaxV - yMinV)
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return marginTop + plotH*(1-frac)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n",
+		width, height, width, height))
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Title block.
+	sb.WriteString(fmt.Sprintf(`<text x="%g" y="22" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginLeft, html.EscapeString(c.Title)))
+	if c.Subtitle != "" {
+		sb.WriteString(fmt.Sprintf(`<text x="%g" y="40" font-size="12" fill="#444">%s</text>`+"\n",
+			marginLeft, html.EscapeString(c.Subtitle)))
+	}
+
+	// Gridlines and y ticks.
+	for _, tick := range c.yTicks(yMinV, yMaxV) {
+		y := yPos(tick)
+		sb.WriteString(fmt.Sprintf(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y))
+		sb.WriteString(fmt.Sprintf(`<text x="%g" y="%.1f" font-size="11" text-anchor="end" fill="#333">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tick)))
+	}
+	if c.YLabel != "" {
+		sb.WriteString(fmt.Sprintf(`<text x="16" y="%g" font-size="12" fill="#333" transform="rotate(-90 16 %g)" text-anchor="middle">%s</text>`+"\n",
+			marginTop+plotH/2, marginTop+plotH/2, html.EscapeString(c.YLabel)))
+	}
+
+	// Bars.
+	groupW := plotW / float64(len(c.Groups))
+	barGap := 2.0
+	barW := (groupW*0.82 - barGap*float64(len(c.Series)-1)) / float64(len(c.Series))
+	if barW < 1 {
+		barW = 1
+	}
+	baseY := marginTop + plotH
+	for gi, label := range c.Groups {
+		gx := marginLeft + groupW*float64(gi) + groupW*0.09
+		for si, s := range c.Series {
+			x := gx + float64(si)*(barW+barGap)
+			color := palette[si%len(palette)]
+			if s.sat(gi) {
+				// Full-height hatched bar with a SAT marker.
+				sb.WriteString(fmt.Sprintf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.35" stroke="%s" stroke-dasharray="3,2"/>`+"\n",
+					x, marginTop, barW, plotH, color, color))
+				sb.WriteString(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle" fill="%s" transform="rotate(-90 %.1f %.1f)">SATURATED</text>`+"\n",
+					x+barW/2, marginTop+40, color, x+barW/2, marginTop+40))
+				continue
+			}
+			v := s.Values[gi]
+			if math.IsNaN(v) || v <= 0 {
+				continue
+			}
+			y := yPos(v)
+			sb.WriteString(fmt.Sprintf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.0f</title></rect>`+"\n",
+				x, y, barW, baseY-y, color,
+				html.EscapeString(s.Name), html.EscapeString(label), v))
+			if s.Errors != nil && s.Errors[gi] > 0 && !math.IsNaN(s.Errors[gi]) {
+				lo, hi := v-s.Errors[gi], v+s.Errors[gi]
+				if lo <= 0 {
+					lo = yMinV
+					if !c.LogY {
+						lo = 0.000001
+					}
+				}
+				cx := x + barW/2
+				sb.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#222" stroke-width="1"/>`+"\n",
+					cx, yPos(hi), cx, yPos(lo)))
+				sb.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#222" stroke-width="1"/>`+"\n",
+					cx-3, yPos(hi), cx+3, yPos(hi)))
+				sb.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#222" stroke-width="1"/>`+"\n",
+					cx-3, yPos(lo), cx+3, yPos(lo)))
+			}
+		}
+		// Group label.
+		sb.WriteString(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#111">%s</text>`+"\n",
+			marginLeft+groupW*float64(gi)+groupW/2, baseY+20, html.EscapeString(label)))
+	}
+	// Axis line.
+	sb.WriteString(fmt.Sprintf(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#111"/>`+"\n",
+		marginLeft, baseY, marginLeft+plotW, baseY))
+
+	// Legend.
+	lx := marginLeft
+	ly := baseY + 44.0
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		sb.WriteString(fmt.Sprintf(`<rect x="%.1f" y="%.1f" width="11" height="11" fill="%s"/>`+"\n", lx, ly-10, color))
+		sb.WriteString(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="11" fill="#111">%s</text>`+"\n",
+			lx+15, ly, html.EscapeString(s.Name)))
+		lx += 15 + 7*float64(len(s.Name)) + 22
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (s *Series) sat(i int) bool { return s.Saturated != nil && s.Saturated[i] }
+
+// yTicks picks tick values: decades for log scale, 5 even steps otherwise.
+func (c *BarChart) yTicks(lo, hi float64) []float64 {
+	var ticks []float64
+	if c.LogY {
+		for v := lo; v <= hi*1.0001; v *= 10 {
+			ticks = append(ticks, v)
+		}
+		return ticks
+	}
+	step := hi / 5
+	for v := 0.0; v <= hi*1.0001; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// niceCeil rounds up to a "nice" number: 1, 2, 2.5 or 5 × 10^k.
+func niceCeil(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	exp := math.Floor(math.Log10(x))
+	base := math.Pow(10, exp)
+	frac := x / base
+	switch {
+	case frac <= 1:
+		return base
+	case frac <= 2:
+		return 2 * base
+	case frac <= 2.5:
+		return 2.5 * base
+	case frac <= 5:
+		return 5 * base
+	default:
+		return 10 * base
+	}
+}
+
+// formatTick renders a tick label compactly (1.5k, 2M, ...).
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return trimZero(v/1e6) + "M"
+	case av >= 1e3:
+		return trimZero(v/1e3) + "k"
+	default:
+		return trimZero(v)
+	}
+}
+
+func trimZero(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}

@@ -1,0 +1,160 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *BarChart {
+	return &BarChart{
+		Title:    "Fig. 1(a)",
+		Subtitle: "Hom-HighAvail, U=0.50",
+		Groups:   []string{"1000", "5000", "25000", "125000"},
+		YLabel:   "mean turnaround (s)",
+		LogY:     true,
+		Series: []Series{
+			{
+				Name:      "FCFS-Excl",
+				Values:    []float64{3599, 5350, 22217, 962535},
+				Errors:    []float64{319, 799, 10326, 32150},
+				Saturated: []bool{false, false, false, false},
+			},
+			{
+				Name:   "RR",
+				Values: []float64{5175, 5309, 7213, 26226},
+				Errors: []float64{1308, 710, 773, 2728},
+			},
+		},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "Fig. 1(a)", "FCFS-Excl", "RR",
+		"mean turnaround", "<rect", "<line",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Fatal("unbalanced svg tags")
+	}
+	// Bars: 8 value rects plus background; at least 9 rects with legend.
+	if strings.Count(out, "<rect") < 9 {
+		t.Fatalf("too few rects: %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestSaturatedMarker(t *testing.T) {
+	c := sample()
+	c.Series[0].Saturated = []bool{false, false, false, true}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SATURATED") {
+		t.Fatal("saturated marker missing")
+	}
+	if !strings.Contains(buf.String(), "stroke-dasharray") {
+		t.Fatal("hatched saturated bar missing")
+	}
+}
+
+func TestLinearScale(t *testing.T) {
+	c := sample()
+	c.LogY = false
+	c.Series = c.Series[1:] // drop the huge series
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "30k") { // niceCeil(28954) = 50k ticks at 10k steps... check any k tick
+		// At minimum some k-formatted tick exists.
+		if !strings.Contains(buf.String(), "k<") && !strings.Contains(buf.String(), "k</text>") {
+			t.Fatalf("no thousand ticks in linear output")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*BarChart)
+	}{
+		{"no groups", func(c *BarChart) { c.Groups = nil }},
+		{"no series", func(c *BarChart) { c.Series = nil }},
+		{"value mismatch", func(c *BarChart) { c.Series[0].Values = c.Series[0].Values[:2] }},
+		{"error mismatch", func(c *BarChart) { c.Series[0].Errors = c.Series[0].Errors[:1] }},
+		{"sat mismatch", func(c *BarChart) { c.Series[0].Saturated = []bool{true} }},
+	}
+	for _, tc := range cases {
+		c := sample()
+		tc.mut(c)
+		if err := c.WriteSVG(&bytes.Buffer{}); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestMissingValuesSkipped(t *testing.T) {
+	c := &BarChart{
+		Title:  "missing values",
+		Groups: []string{"a", "b"},
+		Series: []Series{{Name: "s", Values: []float64{math.NaN(), 5}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1: 1, 1.2: 2, 2.2: 2.5, 3: 5, 7: 10, 12: 20, 26000: 50000,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Fatalf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if niceCeil(-1) != 1 {
+		t.Fatal("niceCeil of negative should be 1")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 500: "500", 1500: "1.5k", 2000: "2k", 3500000: "3.5M",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &BarChart{
+		Title:  `<script>alert("x")</script>`,
+		Groups: []string{"<g>"},
+		Series: []Series{{Name: "<s&>", Values: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Fatal("unescaped markup in SVG")
+	}
+}

@@ -1,0 +1,171 @@
+// Package rng provides deterministic, splittable random-number streams and
+// the distributions needed by the desktop-grid simulation: uniform,
+// exponential, (truncated) normal and Weibull variates.
+//
+// Reproducibility is a first-class requirement for the experiments: every
+// simulation run derives all of its randomness from a single 64-bit seed,
+// and logically independent model components (machine lifetimes, task
+// durations, arrivals, ...) use named substreams so that adding draws to one
+// component does not perturb another.
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Stream is a deterministic random-number stream.
+type Stream struct {
+	r *rand.Rand
+}
+
+// New returns a stream seeded from a single 64-bit seed.
+func New(seed uint64) *Stream {
+	s1 := splitmix64(&seed)
+	s2 := splitmix64(&seed)
+	return &Stream{r: rand.New(rand.NewPCG(s1, s2))}
+}
+
+// Split derives an independent substream identified by name. The same
+// (parent seed, name) pair always yields the same substream. The parent is
+// not consumed: splitting is stateless with respect to the parent's draw
+// sequence only when performed before any draws; in practice streams are
+// split from a dedicated root immediately after New.
+func (s *Stream) Split(name string) *Stream {
+	h := hashString(name)
+	a := s.r.Uint64() ^ h
+	b := s.r.Uint64() ^ bits64Rotate(h, 31)
+	return &Stream{r: rand.New(rand.NewPCG(a, b))}
+}
+
+// Root builds a stream for a named component from a seed without creating
+// an intermediate parent. Equivalent streams for the same (seed, name).
+func Root(seed uint64, name string) *Stream {
+	h := hashString(name)
+	x := seed ^ h
+	s1 := splitmix64(&x)
+	s2 := splitmix64(&x)
+	return &Stream{r: rand.New(rand.NewPCG(s1, s2))}
+}
+
+// Float64 returns a uniform variate in [0,1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Stream) Uint64() uint64 { return s.r.Uint64() }
+
+// IntN returns a uniform integer in [0,n). It panics if n <= 0.
+func (s *Stream) IntN(n int) int { return s.r.IntN(n) }
+
+// Uniform returns a variate uniform on [lo, hi). It panics if hi < lo.
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: uniform bounds inverted [%v,%v]", lo, hi))
+	}
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Exponential returns an exponential variate with the given mean.
+// It panics if mean <= 0.
+func (s *Stream) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("rng: exponential mean %v must be positive", mean))
+	}
+	// Inversion; 1-U in (0,1] avoids log(0).
+	return -mean * math.Log(1-s.r.Float64())
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation. It panics if sd < 0.
+func (s *Stream) Normal(mean, sd float64) float64 {
+	if sd < 0 {
+		panic(fmt.Sprintf("rng: normal sd %v must be non-negative", sd))
+	}
+	return mean + sd*s.r.NormFloat64()
+}
+
+// TruncNormal returns a normal(mean, sd) variate truncated to [lo, hi] by
+// rejection. The paper's repair times are Normal(1800, 300) with 99 % of
+// mass inside [900, 2700]; rejection is cheap for such wide windows.
+// It panics if the window is empty.
+func (s *Stream) TruncNormal(mean, sd, lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: truncation window inverted [%v,%v]", lo, hi))
+	}
+	for i := 0; i < 1000; i++ {
+		x := s.Normal(mean, sd)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	// The window must be many sigmas from the mean; fall back to uniform so
+	// the simulation cannot hang on pathological configurations.
+	return s.Uniform(lo, hi)
+}
+
+// Weibull returns a Weibull variate with the given shape k and scale λ,
+// via inversion: λ·(−ln(1−U))^(1/k). It panics unless both are positive.
+func (s *Stream) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("rng: weibull shape %v and scale %v must be positive", shape, scale))
+	}
+	u := s.r.Float64()
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}
+
+// LogNormal returns a lognormal variate: exp(Normal(mu, sigma)).
+// It panics if sigma < 0.
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	if sigma < 0 {
+		panic(fmt.Sprintf("rng: lognormal sigma %v must be non-negative", sigma))
+	}
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// LogNormalMuForMean returns the μ parameter that gives a
+// LogNormal(μ, sigma) distribution the requested mean: ln m − σ²/2.
+func LogNormalMuForMean(mean, sigma float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("rng: lognormal mean %v must be positive", mean))
+	}
+	return math.Log(mean) - sigma*sigma/2
+}
+
+// WeibullMean returns the mean of a Weibull(shape, scale) distribution:
+// scale·Γ(1+1/shape).
+func WeibullMean(shape, scale float64) float64 {
+	return scale * math.Gamma(1+1/shape)
+}
+
+// WeibullScaleForMean returns the scale parameter that gives a
+// Weibull(shape, ·) distribution the requested mean.
+func WeibullScaleForMean(shape, mean float64) float64 {
+	return mean / math.Gamma(1+1/shape)
+}
+
+// splitmix64 advances x and returns the next splitmix64 output. It is used
+// only to expand user seeds into PCG state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashString is FNV-1a, sufficient to separate substream names.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func bits64Rotate(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

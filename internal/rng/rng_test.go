@@ -1,0 +1,334 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const samples = 200000
+
+func sampleMoments(t *testing.T, draw func() float64) (mean, variance float64) {
+	t.Helper()
+	var m, m2 float64
+	for i := 1; i <= samples; i++ {
+		x := draw()
+		d := x - m
+		m += d / float64(i)
+		m2 += d * (x - m)
+	}
+	return m, m2 / float64(samples-1)
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if New(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds look identical (%d collisions)", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split("machines")
+	b := root.Split("tasks")
+	// Streams for different names must differ.
+	equal := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("substreams appear correlated: %d equal draws", equal)
+	}
+}
+
+func TestRootReproducible(t *testing.T) {
+	a := Root(99, "arrivals")
+	b := Root(99, "arrivals")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Root streams with same (seed,name) diverged")
+		}
+	}
+	c := Root(99, "other")
+	if Root(99, "arrivals").Uint64() == c.Uint64() {
+		t.Log("first draws collide; checking more")
+		if Root(99, "arrivals").Uint64() == Root(99, "other").Uint64() {
+			t.Fatal("Root streams for different names identical")
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	s := New(1)
+	mean, v := sampleMoments(t, func() float64 { return s.Uniform(240, 720) })
+	if math.Abs(mean-480) > 2 {
+		t.Fatalf("uniform mean = %v, want ≈480", mean)
+	}
+	wantVar := 480.0 * 480.0 / 12.0
+	if math.Abs(v-wantVar)/wantVar > 0.05 {
+		t.Fatalf("uniform variance = %v, want ≈%v", v, wantVar)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 10000; i++ {
+		x := s.Uniform(2.3, 17.7)
+		if x < 2.3 || x >= 17.7 {
+			t.Fatalf("uniform draw %v outside [2.3,17.7)", x)
+		}
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	s := New(3)
+	mean, v := sampleMoments(t, func() float64 { return s.Exponential(1000) })
+	if math.Abs(mean-1000)/1000 > 0.02 {
+		t.Fatalf("exponential mean = %v, want ≈1000", mean)
+	}
+	if math.Abs(v-1e6)/1e6 > 0.1 {
+		t.Fatalf("exponential variance = %v, want ≈1e6", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(4)
+	mean, v := sampleMoments(t, func() float64 { return s.Normal(1800, 300) })
+	if math.Abs(mean-1800) > 5 {
+		t.Fatalf("normal mean = %v, want ≈1800", mean)
+	}
+	if math.Abs(math.Sqrt(v)-300) > 5 {
+		t.Fatalf("normal sd = %v, want ≈300", math.Sqrt(v))
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 50000; i++ {
+		x := s.TruncNormal(1800, 300, 900, 2700)
+		if x < 900 || x > 2700 {
+			t.Fatalf("truncated normal draw %v outside [900,2700]", x)
+		}
+	}
+}
+
+func TestTruncNormalPathologicalWindow(t *testing.T) {
+	// Window far from mean: rejection gives up and falls back to uniform,
+	// but must stay in bounds and terminate.
+	s := New(6)
+	for i := 0; i < 100; i++ {
+		x := s.TruncNormal(0, 1, 50, 60)
+		if x < 50 || x > 60 {
+			t.Fatalf("pathological truncation draw %v outside [50,60]", x)
+		}
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	s := New(7)
+	shape, scale := 0.7, 5000.0
+	want := WeibullMean(shape, scale)
+	mean, _ := sampleMoments(t, func() float64 { return s.Weibull(shape, scale) })
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("weibull mean = %v, want ≈%v", mean, want)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	s := New(8)
+	mean, v := sampleMoments(t, func() float64 { return s.Weibull(1, 2000) })
+	if math.Abs(mean-2000)/2000 > 0.02 {
+		t.Fatalf("weibull(1,2000) mean = %v, want ≈2000", mean)
+	}
+	if math.Abs(v-4e6)/4e6 > 0.1 {
+		t.Fatalf("weibull(1,2000) variance = %v, want ≈4e6", v)
+	}
+}
+
+func TestWeibullScaleForMean(t *testing.T) {
+	for _, shape := range []float64{0.5, 0.7, 1, 2} {
+		for _, mean := range []float64{1800, 5400, 88200} {
+			scale := WeibullScaleForMean(shape, mean)
+			if got := WeibullMean(shape, scale); math.Abs(got-mean)/mean > 1e-12 {
+				t.Fatalf("round trip shape=%v mean=%v gave %v", shape, mean, got)
+			}
+		}
+	}
+}
+
+func TestQuickUniformInBounds(t *testing.T) {
+	s := New(9)
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(a)+float64(b)+1
+		x := s.Uniform(lo, hi)
+		return x >= lo && x < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExponentialPositive(t *testing.T) {
+	s := New(10)
+	f := func(m uint16) bool {
+		x := s.Exponential(float64(m) + 1)
+		return x >= 0 && !math.IsInf(x, 0) && !math.IsNaN(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWeibullPositive(t *testing.T) {
+	s := New(11)
+	f := func(k, l uint8) bool {
+		shape := float64(k)/32 + 0.1
+		scale := float64(l) + 1
+		x := s.Weibull(shape, scale)
+		return x >= 0 && !math.IsInf(x, 0) && !math.IsNaN(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"uniform inverted", func() { New(1).Uniform(2, 1) }},
+		{"exponential zero mean", func() { New(1).Exponential(0) }},
+		{"normal negative sd", func() { New(1).Normal(0, -1) }},
+		{"weibull zero shape", func() { New(1).Weibull(0, 1) }},
+		{"weibull zero scale", func() { New(1).Weibull(1, 0) }},
+		{"trunc inverted", func() { New(1).TruncNormal(0, 1, 2, 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	s := New(12)
+	seen := make([]bool, 10)
+	for i := 0; i < 1000; i++ {
+		n := s.IntN(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("IntN(10) = %d out of range", n)
+		}
+		seen[n] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("IntN(10) never produced %d in 1000 draws", v)
+		}
+	}
+}
+
+// Kolmogorov-Smirnov one-sample test against the uniform CDF, as a sanity
+// check that the generator is not grossly biased.
+func TestUniformKS(t *testing.T) {
+	s := New(13)
+	n := 10000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Float64()
+	}
+	// Insertion into buckets then sort-free KS via sorting.
+	sortFloats(xs)
+	var d float64
+	for i, x := range xs {
+		lo := math.Abs(x - float64(i)/float64(n))
+		hi := math.Abs(float64(i+1)/float64(n) - x)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	// Critical value at α=0.001 is ≈ 1.95/sqrt(n).
+	if crit := 1.95 / math.Sqrt(float64(n)); d > crit {
+		t.Fatalf("KS statistic %v exceeds critical value %v", d, crit)
+	}
+}
+
+func sortFloats(xs []float64) {
+	// Simple heapsort to avoid importing sort in this focused test helper.
+	n := len(xs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(xs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		xs[0], xs[i] = xs[i], xs[0]
+		siftDown(xs, 0, i)
+	}
+}
+
+func siftDown(xs []float64, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && xs[r] > xs[l] {
+			big = r
+		}
+		if xs[big] <= xs[i] {
+			return
+		}
+		xs[i], xs[big] = xs[big], xs[i]
+		i = big
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	s := New(14)
+	sigma := 0.5
+	mu := LogNormalMuForMean(1000, sigma)
+	mean, _ := sampleMoments(t, func() float64 { return s.LogNormal(mu, sigma) })
+	if math.Abs(mean-1000)/1000 > 0.03 {
+		t.Fatalf("lognormal mean = %v, want ≈1000", mean)
+	}
+}
+
+func TestLogNormalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative sigma")
+		}
+	}()
+	New(1).LogNormal(0, -1)
+}
+
+func TestLogNormalMuPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive mean")
+		}
+	}()
+	LogNormalMuForMean(0, 1)
+}

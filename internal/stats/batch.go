@@ -1,0 +1,114 @@
+package stats
+
+import "math"
+
+// BatchMeans groups a stream of correlated within-run observations (e.g.
+// per-BoT turnaround times from one long run) into fixed-size batches and
+// treats batch means as approximately independent samples, the classic
+// method for steady-state simulation output analysis.
+type BatchMeans struct {
+	batchSize int
+	cur       Accumulator
+	batches   Accumulator
+}
+
+// NewBatchMeans returns an estimator with the given batch size (>= 1).
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add incorporates an observation, closing a batch when it fills.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if b.cur.N() >= b.batchSize {
+		b.batches.Add(b.cur.Mean())
+		b.cur = Accumulator{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return b.batches.N() }
+
+// Mean returns the grand mean over completed batches (NaN when none).
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// CI returns a Student-t interval over the completed batch means.
+func (b *BatchMeans) CI(level float64) Interval { return b.batches.CI(level) }
+
+// Histogram is a fixed-width bucket histogram over [lo, hi); observations
+// outside the range land in saturating edge buckets.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	under   int
+	over    int
+	total   int
+}
+
+// NewHistogram builds a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if hi <= lo || n < 1 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, n)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+		if i == len(h.buckets) { // guard float rounding at the top edge
+			i--
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the observations in bucket i.
+func (h *Histogram) Count(i int) int { return h.buckets[i] }
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns observations below lo and at-or-above hi.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.buckets))
+	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Quantile estimates quantile q (0..1) from in-range counts by linear
+// interpolation within the containing bucket. NaN when empty or q outside
+// [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	in := h.total - h.under - h.over
+	if in == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * float64(in)
+	cum := 0.0
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo, hi := h.BucketBounds(i)
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.hi
+}

@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"botgrid/internal/stats"
+)
+
+// Computing the paper's comparison metric: a 95 % confidence interval on
+// mean turnaround.
+func ExampleAccumulator_CI() {
+	var acc stats.Accumulator
+	for _, turnaround := range []float64{5300, 5100, 5250, 5400, 5200} {
+		acc.Add(turnaround)
+	}
+	ci := acc.CI(0.95)
+	fmt.Printf("mean %.0f, half-width %.0f, relative error %.3f\n",
+		ci.Mean, ci.HalfWidth, ci.RelErr())
+	// Output:
+	// mean 5250, half-width 139, relative error 0.026
+}
+
+func ExampleWelchSignificant() {
+	// Two policies with close means and wide errors: no significant
+	// difference — the paper's "no clear winner".
+	fmt.Println(stats.WelchSignificant(5250, 120, 5, 5400, 150, 5, 0.95))
+	// A large, tight difference is detected.
+	fmt.Println(stats.WelchSignificant(5250, 50, 10, 9000, 60, 10, 0.95))
+	// Output:
+	// false
+	// true
+}

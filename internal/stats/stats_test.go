@@ -1,0 +1,305 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Variance()) {
+		t.Fatal("empty accumulator should report NaN")
+	}
+	a.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", a.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almost(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Mean() != 3 {
+		t.Fatalf("mean = %v, want 3", a.Mean())
+	}
+	if !math.IsNaN(a.Variance()) {
+		t.Fatal("variance with one sample should be NaN")
+	}
+	ci := a.CI(0.95)
+	if !math.IsInf(ci.HalfWidth, 1) {
+		t.Fatal("CI with one sample should have infinite half-width")
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		var whole, left, right Accumulator
+		n := 1 + r.Intn(100)
+		cut := r.Intn(n + 1)
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()*10 + 50
+			whole.Add(x)
+			if i < cut {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(&right)
+		if left.N() != whole.N() {
+			t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+		}
+		if !almost(left.Mean(), whole.Mean(), 1e-9) {
+			t.Fatalf("merged mean = %v, want %v", left.Mean(), whole.Mean())
+		}
+		if n >= 2 && !almost(left.Variance(), whole.Variance(), 1e-6) {
+			t.Fatalf("merged variance = %v, want %v", left.Variance(), whole.Variance())
+		}
+		if left.Min() != whole.Min() || left.Max() != whole.Max() {
+			t.Fatal("merged min/max mismatch")
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Fatalf("N = %d, want 1", a.N())
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty should copy")
+	}
+}
+
+func TestTQuantileTable(t *testing.T) {
+	cases := []struct {
+		level float64
+		df    int
+		want  float64
+	}{
+		{0.95, 1, 12.706},
+		{0.95, 9, 2.262},
+		{0.95, 30, 2.042},
+		{0.90, 10, 1.812},
+		{0.99, 5, 4.032},
+	}
+	for _, c := range cases {
+		if got := TQuantile(c.level, c.df); !almost(got, c.want, 1e-9) {
+			t.Fatalf("TQuantile(%v,%d) = %v, want %v", c.level, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileLargeDF(t *testing.T) {
+	// Should approach the normal critical value from above.
+	g100 := TQuantile(0.95, 100)
+	g1e6 := TQuantile(0.95, 1000000)
+	if g100 < 1.96 || g100 > 2.05 {
+		t.Fatalf("TQuantile(0.95,100) = %v, want ≈1.98", g100)
+	}
+	if !almost(g1e6, 1.96, 0.01) {
+		t.Fatalf("TQuantile(0.95,1e6) = %v, want ≈1.96", g1e6)
+	}
+	if g100 <= g1e6 {
+		t.Fatal("t quantile should decrease with df")
+	}
+}
+
+func TestTQuantileUnusualLevel(t *testing.T) {
+	// Falls back to the normal quantile: 0.80 two-sided → z_{0.90} ≈ 1.2816.
+	if got := TQuantile(0.80, 50); !almost(got, 1.2816, 0.01) {
+		t.Fatalf("TQuantile(0.80,50) = %v, want ≈1.2816", got)
+	}
+}
+
+func TestCICoverage(t *testing.T) {
+	// Empirical check: a 95% CI over normal samples should contain the true
+	// mean roughly 95% of the time.
+	r := rand.New(rand.NewSource(11))
+	hits := 0
+	trials := 2000
+	for i := 0; i < trials; i++ {
+		var a Accumulator
+		for j := 0; j < 20; j++ {
+			a.Add(r.NormFloat64()*3 + 10)
+		}
+		ci := a.CI(0.95)
+		if ci.Lo() <= 10 && 10 <= ci.Hi() {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(trials)
+	if rate < 0.93 || rate > 0.97 {
+		t.Fatalf("CI coverage = %v, want ≈0.95", rate)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	ci := Interval{Mean: 100, HalfWidth: 5, Level: 0.95, N: 10}
+	if ci.Lo() != 95 || ci.Hi() != 105 {
+		t.Fatalf("Lo/Hi = %v/%v", ci.Lo(), ci.Hi())
+	}
+	if !almost(ci.RelErr(), 0.05, 1e-12) {
+		t.Fatalf("RelErr = %v, want 0.05", ci.RelErr())
+	}
+	zero := Interval{Mean: 0, HalfWidth: 1}
+	if !math.IsInf(zero.RelErr(), 1) {
+		t.Fatal("RelErr of zero mean should be +Inf")
+	}
+	if ci.String() == "" {
+		t.Fatal("String should not be empty")
+	}
+}
+
+func TestQuickMergeAssociative(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := in[:0]
+			for _, x := range in {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, whole Accumulator
+		a.AddAll(xs)
+		b.AddAll(ys)
+		whole.AddAll(xs)
+		whole.AddAll(ys)
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return almost(a.Mean(), whole.Mean(), 1e-6*(1+math.Abs(whole.Mean())))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 100; i++ {
+		b.Add(float64(i % 10)) // each batch holds 0..9, mean 4.5
+	}
+	if b.Batches() != 10 {
+		t.Fatalf("batches = %d, want 10", b.Batches())
+	}
+	if !almost(b.Mean(), 4.5, 1e-12) {
+		t.Fatalf("mean = %v, want 4.5", b.Mean())
+	}
+	ci := b.CI(0.95)
+	if ci.HalfWidth != 0 {
+		t.Fatalf("identical batches should give zero half-width, got %v", ci.HalfWidth)
+	}
+}
+
+func TestBatchMeansPartialBatchIgnored(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 15; i++ {
+		b.Add(1)
+	}
+	if b.Batches() != 1 {
+		t.Fatalf("batches = %d, want 1 (partial batch open)", b.Batches())
+	}
+}
+
+func TestBatchMeansMinimumSize(t *testing.T) {
+	b := NewBatchMeans(0) // clamped to 1
+	b.Add(5)
+	if b.Batches() != 1 {
+		t.Fatalf("batches = %d, want 1", b.Batches())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(-5)
+	h.Add(1000)
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 10 {
+			t.Fatalf("bucket %d = %d, want 10", i, h.Count(i))
+		}
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 1 {
+		t.Fatalf("out of range = %d/%d, want 1/1", under, over)
+	}
+	if h.Total() != 102 {
+		t.Fatalf("total = %d, want 102", h.Total())
+	}
+	lo, hi := h.BucketBounds(3)
+	if lo != 30 || hi != 40 {
+		t.Fatalf("bucket 3 bounds = [%v,%v), want [30,40)", lo, hi)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %v, want ≈50", med)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("quantile of empty histogram should be NaN")
+	}
+	h.Add(math.Nextafter(1, 0)) // just below hi must not panic
+	if h.Count(3) != 1 {
+		t.Fatalf("top-edge value should land in last bucket")
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range quantile should be NaN")
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 10)
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); !almost(got, 1, 1e-12) {
+		t.Fatalf("equal values index = %v, want 1", got)
+	}
+	// One dominant value among n approaches 1/n.
+	if got := JainIndex([]float64{100, 0, 0, 0}); !almost(got, 0.25, 1e-12) {
+		t.Fatalf("dominant value index = %v, want 0.25", got)
+	}
+	// Known case: {1,2,3} → 36/(3·14) = 6/7.
+	if got := JainIndex([]float64{1, 2, 3}); !almost(got, 6.0/7.0, 1e-12) {
+		t.Fatalf("index = %v, want 6/7", got)
+	}
+	if !math.IsNaN(JainIndex(nil)) || !math.IsNaN(JainIndex([]float64{0, 0})) {
+		t.Fatal("degenerate inputs should be NaN")
+	}
+}

@@ -1,0 +1,56 @@
+package stats
+
+import "math"
+
+// StdErr returns the standard error of the mean implied by the interval's
+// half-width and level: hw / t_{level, n-1}. NaN when n < 2.
+func (ci Interval) StdErr() float64 {
+	if ci.N < 2 {
+		return math.NaN()
+	}
+	return ci.HalfWidth / TQuantile(ci.Level, ci.N-1)
+}
+
+// WelchT returns Welch's t statistic and the Welch–Satterthwaite degrees
+// of freedom for two sample summaries (mean, standard error, size). The
+// statistic is NaN when either sample is too small or both standard errors
+// are zero with equal means.
+func WelchT(m1, se1 float64, n1 int, m2, se2 float64, n2 int) (t, df float64) {
+	if n1 < 2 || n2 < 2 {
+		return math.NaN(), 0
+	}
+	v1 := se1 * se1
+	v2 := se2 * se2
+	denom := v1 + v2
+	if denom == 0 {
+		if m1 == m2 {
+			return math.NaN(), 0
+		}
+		return math.Inf(1), float64(n1 + n2 - 2)
+	}
+	t = math.Abs(m1-m2) / math.Sqrt(denom)
+	df = denom * denom / (v1*v1/float64(n1-1) + v2*v2/float64(n2-1))
+	return t, df
+}
+
+// WelchSignificant reports whether the two means differ at the given
+// two-sided confidence level under Welch's t-test. It is conservative for
+// tiny samples: with fewer than two observations on either side it
+// reports false.
+func WelchSignificant(m1, se1 float64, n1 int, m2, se2 float64, n2 int, level float64) bool {
+	t, df := WelchT(m1, se1, n1, m2, se2, n2)
+	if math.IsNaN(t) {
+		return false
+	}
+	idf := int(math.Floor(df))
+	if idf < 1 {
+		idf = 1
+	}
+	return t > TQuantile(level, idf)
+}
+
+// IntervalsDiffer applies WelchSignificant to two Interval summaries at
+// their own confidence level (they must agree).
+func IntervalsDiffer(a, b Interval, level float64) bool {
+	return WelchSignificant(a.Mean, a.StdErr(), a.N, b.Mean, b.StdErr(), b.N, level)
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchTKnownCase(t *testing.T) {
+	// Two clearly separated samples: means 0 and 10, se 1 each, n=10.
+	tt, df := WelchT(0, 1, 10, 10, 1, 10)
+	if math.Abs(tt-10/math.Sqrt2) > 1e-9 {
+		t.Fatalf("t = %v, want %v", tt, 10/math.Sqrt2)
+	}
+	// Equal variances and sizes → df = 2(n-1) = 18.
+	if math.Abs(df-18) > 1e-9 {
+		t.Fatalf("df = %v, want 18", df)
+	}
+}
+
+func TestWelchSmallSamples(t *testing.T) {
+	if tt, _ := WelchT(0, 1, 1, 5, 1, 10); !math.IsNaN(tt) {
+		t.Fatal("n=1 should give NaN t")
+	}
+	if WelchSignificant(0, 1, 1, 100, 1, 10, 0.95) {
+		t.Fatal("significance claimed with n=1")
+	}
+}
+
+func TestWelchZeroVariance(t *testing.T) {
+	// Identical deterministic samples: no difference.
+	tt, _ := WelchT(5, 0, 10, 5, 0, 10)
+	if !math.IsNaN(tt) {
+		t.Fatal("equal means with zero se should be NaN (no evidence)")
+	}
+	if WelchSignificant(5, 0, 10, 5, 0, 10, 0.95) {
+		t.Fatal("identical samples flagged significant")
+	}
+	// Different deterministic samples: infinitely significant.
+	if !WelchSignificant(5, 0, 10, 6, 0, 10, 0.95) {
+		t.Fatal("distinct deterministic samples not flagged")
+	}
+}
+
+func TestWelchSignificantObviousCases(t *testing.T) {
+	if !WelchSignificant(0, 1, 10, 10, 1, 10, 0.95) {
+		t.Fatal("10-sigma difference not significant")
+	}
+	if WelchSignificant(0, 1, 10, 0.5, 1, 10, 0.95) {
+		t.Fatal("0.35-sigma difference flagged significant")
+	}
+}
+
+// Empirical false-positive rate: samples from the same distribution should
+// be flagged different ≈5% of the time at level 0.95.
+func TestWelchFalsePositiveRate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	trials := 3000
+	falsePos := 0
+	for i := 0; i < trials; i++ {
+		var a, b Accumulator
+		for j := 0; j < 15; j++ {
+			a.Add(r.NormFloat64()*5 + 100)
+			b.Add(r.NormFloat64()*5 + 100)
+		}
+		if IntervalsDiffer(a.CI(0.95), b.CI(0.95), 0.95) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / float64(trials)
+	if rate < 0.02 || rate > 0.09 {
+		t.Fatalf("false positive rate %v, want ≈0.05", rate)
+	}
+}
+
+// Power check: a real 2-sigma mean shift with n=30 should almost always be
+// detected.
+func TestWelchPower(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	trials := 500
+	hits := 0
+	for i := 0; i < trials; i++ {
+		var a, b Accumulator
+		for j := 0; j < 30; j++ {
+			a.Add(r.NormFloat64() * 1)
+			b.Add(r.NormFloat64()*1 + 2)
+		}
+		if IntervalsDiffer(a.CI(0.95), b.CI(0.95), 0.95) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / float64(trials); rate < 0.95 {
+		t.Fatalf("power %v, want > 0.95 for a 2-sigma shift", rate)
+	}
+}
+
+func TestIntervalStdErr(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 20; i++ {
+		a.Add(float64(i))
+	}
+	ci := a.CI(0.95)
+	if math.Abs(ci.StdErr()-a.StdErr()) > 1e-9 {
+		t.Fatalf("Interval.StdErr %v != Accumulator.StdErr %v", ci.StdErr(), a.StdErr())
+	}
+	single := Interval{Mean: 1, HalfWidth: math.Inf(1), Level: 0.95, N: 1}
+	if !math.IsNaN(single.StdErr()) {
+		t.Fatal("StdErr with n=1 should be NaN")
+	}
+}

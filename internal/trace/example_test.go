@@ -1,0 +1,40 @@
+package trace_test
+
+import (
+	"fmt"
+	"os"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/workload"
+
+	"botgrid/internal/trace"
+)
+
+// Recording only bag-level events of a small deterministic run and
+// printing them.
+func ExampleRecorder() {
+	rec := trace.New(0).Only(trace.BagSubmitted, trace.BagCompleted)
+	gc := grid.DefaultConfig(grid.Hom, grid.AlwaysUp)
+	gc.TotalPower = 100
+	_, err := core.Run(core.RunConfig{
+		Seed: 1,
+		Grid: gc,
+		Bots: []*workload.BoT{
+			{ID: 0, Arrival: 0, Granularity: 1000, TaskWork: []float64{1000}},
+		},
+		Policy:     core.FCFSShare,
+		Checkpoint: checkpoint.Config{Enabled: false, TransferLo: 1, TransferHi: 1},
+		Observer:   rec,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rec.WriteText(os.Stdout)
+	// Output:
+	//          0.0  bag-submitted     bag=0  tasks=1 work=1000
+	//        100.0  bag-completed     bag=0  turnaround=100
+	// ... 3 events dropped
+}

@@ -1,0 +1,199 @@
+// Package trace records structured simulation traces. A Recorder plugs
+// into the scheduler as a core.Observer and captures a bounded sequence of
+// events that can be rendered as text or JSON Lines — the debugging and
+// visualization hook used by the example programs.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+)
+
+// Kind labels a trace event.
+type Kind string
+
+// Event kinds, one per Observer callback.
+const (
+	BagSubmitted    Kind = "bag-submitted"
+	BagCompleted    Kind = "bag-completed"
+	ReplicaStarted  Kind = "replica-started"
+	ReplicaFailed   Kind = "replica-failed"
+	TaskCompleted   Kind = "task-completed"
+	CheckpointSaved Kind = "checkpoint-saved"
+	MachineFailed   Kind = "machine-failed"
+	MachineRepaired Kind = "machine-repaired"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Time is the simulation time of the event.
+	Time float64 `json:"t"`
+	// Kind labels the event.
+	Kind Kind `json:"kind"`
+	// Bag is the bag ID, or -1 when not applicable.
+	Bag int `json:"bag"`
+	// Task is the task ID within the bag, or -1.
+	Task int `json:"task"`
+	// Machine is the machine ID, or -1.
+	Machine int `json:"machine"`
+	// Detail carries event-specific extra information.
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event as one human-readable line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%12.1f  %-17s", e.Time, e.Kind)
+	if e.Bag >= 0 {
+		s += fmt.Sprintf(" bag=%d", e.Bag)
+	}
+	if e.Task >= 0 {
+		s += fmt.Sprintf(" task=%d", e.Task)
+	}
+	if e.Machine >= 0 {
+		s += fmt.Sprintf(" machine=%d", e.Machine)
+	}
+	if e.Detail != "" {
+		s += "  " + e.Detail
+	}
+	return s
+}
+
+// Recorder captures events up to a configurable cap. The zero value is not
+// usable; construct with New.
+type Recorder struct {
+	core.NopObserver
+	events  []Event
+	max     int
+	dropped int
+	filter  map[Kind]bool // nil: record everything
+}
+
+// New returns a recorder that keeps at most max events (<=0 means a
+// generous default of 100000). Additional events are counted but dropped.
+func New(max int) *Recorder {
+	if max <= 0 {
+		max = 100000
+	}
+	return &Recorder{max: max}
+}
+
+// Only restricts recording to the given kinds; it returns the receiver for
+// chaining.
+func (r *Recorder) Only(kinds ...Kind) *Recorder {
+	r.filter = make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		r.filter[k] = true
+	}
+	return r
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events exceeded the cap or filter.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+func (r *Recorder) add(e Event) {
+	if r.filter != nil && !r.filter[e.Kind] {
+		r.dropped++
+		return
+	}
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// BagSubmitted implements core.Observer.
+func (r *Recorder) BagSubmitted(now float64, b *core.Bag) {
+	r.add(Event{Time: now, Kind: BagSubmitted, Bag: b.ID, Task: -1, Machine: -1,
+		Detail: fmt.Sprintf("tasks=%d work=%.0f", len(b.Tasks), b.TotalWork())})
+}
+
+// BagCompleted implements core.Observer.
+func (r *Recorder) BagCompleted(now float64, b *core.Bag) {
+	r.add(Event{Time: now, Kind: BagCompleted, Bag: b.ID, Task: -1, Machine: -1,
+		Detail: fmt.Sprintf("turnaround=%.0f", now-b.Arrival)})
+}
+
+// ReplicaStarted implements core.Observer.
+func (r *Recorder) ReplicaStarted(now float64, rep *core.Replica, restart bool) {
+	detail := ""
+	if restart {
+		detail = "restart"
+	}
+	r.add(Event{Time: now, Kind: ReplicaStarted, Bag: rep.Task.Bag.ID,
+		Task: rep.Task.ID, Machine: rep.Machine.ID, Detail: detail})
+}
+
+// ReplicaFailed implements core.Observer.
+func (r *Recorder) ReplicaFailed(now float64, t *core.Task, m *grid.Machine) {
+	r.add(Event{Time: now, Kind: ReplicaFailed, Bag: t.Bag.ID, Task: t.ID, Machine: m.ID})
+}
+
+// TaskCompleted implements core.Observer.
+func (r *Recorder) TaskCompleted(now float64, t *core.Task, killed int) {
+	r.add(Event{Time: now, Kind: TaskCompleted, Bag: t.Bag.ID, Task: t.ID, Machine: -1,
+		Detail: fmt.Sprintf("killed-replicas=%d", killed)})
+}
+
+// CheckpointSaved implements core.Observer.
+func (r *Recorder) CheckpointSaved(now float64, t *core.Task, work float64) {
+	r.add(Event{Time: now, Kind: CheckpointSaved, Bag: t.Bag.ID, Task: t.ID, Machine: -1,
+		Detail: fmt.Sprintf("work=%.0f", work)})
+}
+
+// MachineFailed implements core.Observer.
+func (r *Recorder) MachineFailed(now float64, m *grid.Machine) {
+	r.add(Event{Time: now, Kind: MachineFailed, Bag: -1, Task: -1, Machine: m.ID})
+}
+
+// MachineRepaired implements core.Observer.
+func (r *Recorder) MachineRepaired(now float64, m *grid.Machine) {
+	r.add(Event{Time: now, Kind: MachineRepaired, Bag: -1, Task: -1, Machine: m.ID})
+}
+
+var _ core.Observer = (*Recorder)(nil)
+
+// WriteText renders the trace as human-readable lines.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, e := range r.events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d events dropped\n", r.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL renders the trace as JSON Lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByKind tallies recorded events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"botgrid/internal/checkpoint"
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/workload"
+)
+
+func runWithRecorder(t *testing.T, rec *Recorder) core.Result {
+	t.Helper()
+	gc := grid.DefaultConfig(grid.Hom, grid.LowAvail)
+	gc.TotalPower = 100
+	lambda := workload.LambdaForUtilization(0.5, 20000,
+		core.EffectivePower(gc, checkpoint.DefaultConfig()))
+	res, err := core.Run(core.RunConfig{
+		Seed: 3,
+		Grid: gc,
+		Workload: workload.Config{
+			Granularities: []float64{1000},
+			AppSize:       20000,
+			Spread:        0.5,
+			Lambda:        lambda,
+		},
+		Policy:   core.FCFSShare,
+		NumBoTs:  10,
+		Warmup:   0,
+		Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec := New(0)
+	res := runWithRecorder(t, rec)
+	counts := rec.CountByKind()
+	if counts[BagSubmitted] != 10 {
+		t.Fatalf("bag-submitted = %d, want 10", counts[BagSubmitted])
+	}
+	if counts[BagCompleted] != res.Completed {
+		t.Fatalf("bag-completed = %d, want %d", counts[BagCompleted], res.Completed)
+	}
+	if counts[ReplicaStarted] == 0 || counts[TaskCompleted] == 0 {
+		t.Fatal("missing replica/task events")
+	}
+	if counts[MachineFailed] == 0 {
+		t.Fatal("LowAvail trace should contain machine failures")
+	}
+	// Events are time-ordered.
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatal("trace out of order")
+		}
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	rec := New(5)
+	runWithRecorder(t, rec)
+	if rec.Len() != 5 {
+		t.Fatalf("len = %d, want 5", rec.Len())
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("expected dropped events")
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	rec := New(0).Only(BagCompleted)
+	res := runWithRecorder(t, rec)
+	if rec.Len() != res.Completed {
+		t.Fatalf("filtered len = %d, want %d", rec.Len(), res.Completed)
+	}
+	for _, e := range rec.Events() {
+		if e.Kind != BagCompleted {
+			t.Fatalf("unexpected kind %s", e.Kind)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	rec := New(3)
+	runWithRecorder(t, rec)
+	var buf bytes.Buffer
+	if err := rec.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, string(rec.Events()[0].Kind)) {
+		t.Fatalf("text output missing events:\n%s", out)
+	}
+	if !strings.Contains(out, "events dropped") {
+		t.Fatal("text output should mention dropped events")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	rec := New(10)
+	runWithRecorder(t, rec)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d JSONL lines, want 10", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("invalid JSON line: %v", err)
+	}
+	if e.Kind == "" {
+		t.Fatal("decoded event has empty kind")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 12.5, Kind: ReplicaStarted, Bag: 1, Task: 2, Machine: 3, Detail: "restart"}
+	s := e.String()
+	for _, want := range []string{"replica-started", "bag=1", "task=2", "machine=3", "restart"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	// Negative IDs are omitted.
+	e2 := Event{Time: 1, Kind: MachineFailed, Bag: -1, Task: -1, Machine: 7}
+	if strings.Contains(e2.String(), "bag=") || strings.Contains(e2.String(), "task=") {
+		t.Fatalf("String() = %q should omit bag/task", e2.String())
+	}
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// botRecord is the JSONL wire form of a BoT.
+type botRecord struct {
+	ID          int       `json:"id"`
+	Arrival     float64   `json:"arrival"`
+	Granularity float64   `json:"granularity"`
+	TaskWork    []float64 `json:"tasks"`
+}
+
+// WriteTrace serializes a BoT stream as JSON Lines, one bag per line.
+// Workload traces make experiments portable: a stream generated once (or
+// converted from a real system's accounting log) can be replayed against
+// any scheduler configuration.
+func WriteTrace(w io.Writer, bots []*BoT) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, b := range bots {
+		rec := botRecord{ID: b.ID, Arrival: b.Arrival, Granularity: b.Granularity, TaskWork: b.TaskWork}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL BoT stream and validates it: arrivals must be
+// non-negative and non-decreasing, and every bag must have at least one
+// task of positive duration.
+func ReadTrace(r io.Reader) ([]*BoT, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var bots []*BoT
+	prev := -1.0
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec botRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if rec.Arrival < 0 || rec.Arrival < prev {
+			return nil, fmt.Errorf("workload: trace line %d: arrival %v out of order", line, rec.Arrival)
+		}
+		if len(rec.TaskWork) == 0 {
+			return nil, fmt.Errorf("workload: trace line %d: empty bag", line)
+		}
+		for _, t := range rec.TaskWork {
+			if t <= 0 {
+				return nil, fmt.Errorf("workload: trace line %d: task duration %v must be positive", line, t)
+			}
+		}
+		if rec.Granularity <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: granularity %v must be positive", line, rec.Granularity)
+		}
+		prev = rec.Arrival
+		bots = append(bots, &BoT{
+			ID:          rec.ID,
+			Arrival:     rec.Arrival,
+			Granularity: rec.Granularity,
+			TaskWork:    rec.TaskWork,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(bots) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return bots, nil
+}

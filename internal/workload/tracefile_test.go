@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"botgrid/internal/rng"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewGenerator(Config{
+		Granularities: []float64{1000, 5000},
+		AppSize:       20000,
+		Spread:        0.5,
+		Lambda:        1e-3,
+	}, rng.Root(1, "tasks"), rng.Root(1, "arrivals"))
+	bots := g.Take(20)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, bots); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(bots) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(bots))
+	}
+	for i := range bots {
+		a, b := bots[i], back[i]
+		if a.ID != b.ID || a.Arrival != b.Arrival || a.Granularity != b.Granularity {
+			t.Fatalf("bag %d metadata mismatch", i)
+		}
+		if len(a.TaskWork) != len(b.TaskWork) {
+			t.Fatalf("bag %d task count mismatch", i)
+		}
+		for j := range a.TaskWork {
+			if a.TaskWork[j] != b.TaskWork[j] {
+				t.Fatalf("bag %d task %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"garbage":          "not json\n",
+		"out of order":     `{"id":0,"arrival":10,"granularity":1,"tasks":[1]}` + "\n" + `{"id":1,"arrival":5,"granularity":1,"tasks":[1]}`,
+		"negative arrival": `{"id":0,"arrival":-1,"granularity":1,"tasks":[1]}`,
+		"empty bag":        `{"id":0,"arrival":0,"granularity":1,"tasks":[]}`,
+		"zero task":        `{"id":0,"arrival":0,"granularity":1,"tasks":[0]}`,
+		"zero granularity": `{"id":0,"arrival":0,"granularity":0,"tasks":[1]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	in := `{"id":0,"arrival":0,"granularity":1000,"tasks":[500]}` + "\n\n" +
+		`{"id":1,"arrival":3,"granularity":1000,"tasks":[700,800]}` + "\n"
+	bots, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bots) != 2 || bots[1].NumTasks() != 2 {
+		t.Fatalf("parsed %d bots", len(bots))
+	}
+}
