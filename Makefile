@@ -1,0 +1,34 @@
+# botgrid build/test entry points.
+#
+#   make build   compile every package and command
+#   make test    run the full test suite
+#   make race    run the full suite under the race detector
+#   make vet     static checks
+#   make bench   dispatch-decision micro-benchmarks
+#   make check   everything the CI gate runs
+
+GO ?= go
+
+.PHONY: all build test race vet bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench BenchmarkDispatchDecision -benchmem -run '^$$' ./internal/core/
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

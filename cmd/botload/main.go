@@ -1,0 +1,192 @@
+// Command botload is the load generator for botserved: it spins up a
+// fleet of simulated HTTP workers (with configurable failure and latency
+// injection) against a live work-dispatch server, submits a batch of
+// Bags-of-Tasks, drives them to completion and reports sustained dispatch
+// throughput, fetch round-trip percentiles and the server's own
+// scheduling-decision latency percentiles.
+//
+//	botload -addr 127.0.0.1:8431 -workers 50 -bags 8 -tasks 100
+//
+// With -addr "" botload starts an in-process server on a loopback port,
+// so a single invocation benchmarks the whole dispatch path.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/rng"
+	"botgrid/internal/serve"
+)
+
+type options struct {
+	addr      string
+	policy    string
+	workers   int
+	power     float64
+	bags      int
+	tasks     int
+	work      float64
+	timeScale float64
+	failProb  float64
+	latency   time.Duration
+	lease     time.Duration
+	timeout   time.Duration
+	seed      uint64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "server address; empty starts an in-process server")
+	flag.StringVar(&o.policy, "policy", "FCFS-Share", "policy for the in-process server")
+	flag.IntVar(&o.workers, "workers", 50, "number of simulated workers")
+	flag.Float64Var(&o.power, "power", 10, "worker computing power")
+	flag.IntVar(&o.bags, "bags", 8, "bags to submit")
+	flag.IntVar(&o.tasks, "tasks", 100, "tasks per bag")
+	flag.Float64Var(&o.work, "work", 100, "mean task work X; durations are U[0.5X, 1.5X]")
+	flag.Float64Var(&o.timeScale, "timescale", 0, "wall seconds per reference second (0: instant tasks)")
+	flag.Float64Var(&o.failProb, "fail", 0.01, "per-task injected failure probability")
+	flag.DurationVar(&o.latency, "latency", 0, "injected per-request network latency")
+	flag.DurationVar(&o.lease, "lease", 30*time.Second, "lease for the in-process server")
+	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "overall run timeout")
+	flag.Uint64Var(&o.seed, "seed", 7, "seed for workload and failure injection")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes one load-generation campaign and writes the report to w.
+func run(ctx context.Context, o options, w io.Writer) error {
+	ctx, cancel := context.WithTimeout(ctx, o.timeout)
+	defer cancel()
+
+	addr := o.addr
+	if addr == "" {
+		k, err := core.ParsePolicy(o.policy)
+		if err != nil {
+			return err
+		}
+		srv := serve.NewServer(serve.Config{
+			Policy:      k,
+			MaxWorkers:  o.workers,
+			WorkerPower: o.power,
+			Lease:       o.lease,
+			RetryMs:     1,
+			Seed:        o.seed,
+		})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		addr = ln.Addr().String()
+		fmt.Fprintf(w, "in-process server: policy %s on %s\n", k, addr)
+	}
+	c := serve.NewClient("http://" + addr)
+
+	// Submit the workload: o.bags bags of o.tasks tasks with the paper's
+	// U[0.5X, 1.5X] durations.
+	str := rng.Root(o.seed, "botload-works")
+	for i := 0; i < o.bags; i++ {
+		works := make([]float64, o.tasks)
+		for j := range works {
+			works[j] = str.Uniform(0.5*o.work, 1.5*o.work)
+		}
+		if _, err := c.Submit(o.work, works); err != nil {
+			return fmt.Errorf("submit bag %d: %w", i, err)
+		}
+	}
+
+	// Launch the fleet; every worker feeds one shared RTT recorder.
+	rtt := serve.NewLatencyRecorder(1 << 16)
+	var wg sync.WaitGroup
+	workers := make([]*serve.SimWorker, o.workers)
+	for i := range workers {
+		sw := serve.NewSimWorker(c, serve.WorkerConfig{
+			ID:             fmt.Sprintf("load-%03d", i),
+			Power:          o.power,
+			TimeScale:      o.timeScale,
+			FailProb:       o.failProb,
+			RequestLatency: o.latency,
+			Poll:           time.Millisecond,
+		}, rng.Root(o.seed, fmt.Sprintf("botload-worker-%d", i)))
+		sw.RTT = rtt
+		workers[i] = sw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sw.Run(ctx); err != nil {
+				log.Printf("worker error: %v", err)
+			}
+		}()
+	}
+
+	start := time.Now()
+	var st serve.StatsResponse
+	for {
+		var err error
+		st, err = c.Stats()
+		if err != nil {
+			return err
+		}
+		if st.BagsCompleted >= o.bags {
+			break
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("run timed out with %d/%d bags complete", st.BagsCompleted, o.bags)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	cancel()
+	wg.Wait()
+
+	report(w, o, st, rtt.Summary(), elapsed)
+	return nil
+}
+
+// report renders the campaign summary.
+func report(w io.Writer, o options, st serve.StatsResponse, rtt serve.LatencySummary, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	fmt.Fprintf(w, "\n%d workers, %d bags x %d tasks, policy %s, drained in %.2fs\n",
+		o.workers, o.bags, o.tasks, st.Policy, sec)
+	fmt.Fprintf(w, "throughput: %.0f completions/s, %.0f dispatches/s sustained\n",
+		float64(st.TasksCompleted)/sec, float64(st.ReplicasStarted)/sec)
+	d := st.DecisionLatency
+	fmt.Fprintf(w, "decision latency (n=%d): p50 %s  p95 %s  p99 %s  max %s\n",
+		d.Count, ms(d.P50), ms(d.P95), ms(d.P99), ms(d.Max))
+	fmt.Fprintf(w, "fetch RTT        (n=%d): p50 %s  p95 %s  p99 %s  max %s\n",
+		rtt.Count, ms(rtt.P50), ms(rtt.P95), ms(rtt.P99), ms(rtt.Max))
+	mean := 0.0
+	for _, b := range st.Bags {
+		mean += b.Turnaround
+	}
+	mean /= float64(len(st.Bags))
+	fmt.Fprintf(w, "mean bag turnaround: %.3fs wall", mean)
+	if o.timeScale > 0 {
+		fmt.Fprintf(w, " (%.0f reference seconds)", mean/o.timeScale)
+	}
+	fmt.Fprintf(w, "\nfailures: %d injected resubmissions, %d lease expiries, %d stale reports\n",
+		st.ReplicaFailures, st.LeaseExpiries, st.StaleReports)
+}
+
+// ms formats a latency expressed in seconds.
+func ms(s float64) string { return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String() }

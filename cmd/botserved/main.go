@@ -1,0 +1,102 @@
+// Command botserved runs the knowledge-free bag-selection policies as a
+// live work-dispatch daemon: workers poll it over HTTP for task replicas,
+// in the BOINC/OurGrid pull style, and the same core.Scheduler that drives
+// the simulator makes every decision in wall-clock time.
+//
+//	botserved -addr :8431 -policy LongIdle -workers 500 -lease 30s
+//
+// Endpoints (see internal/serve/protocol.go for the wire reference):
+//
+//	POST /v1/bags                   submit a Bag-of-Tasks
+//	GET  /v1/bags/{id}              bag status
+//	POST /v1/workers/{id}/fetch     request a task replica
+//	POST /v1/workers/{id}/report    report done/failed
+//	POST /v1/workers/{id}/heartbeat renew the lease
+//	GET  /v1/stats                  scheduler snapshot
+//	GET  /metrics                   expvar-style counters
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes immediately,
+// in-flight requests finish (bounded by -grace), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8431", "listen address")
+		policy  = flag.String("policy", "FCFS-Share", "bag-selection policy")
+		workers = flag.Int("workers", 256, "maximum registered workers")
+		power   = flag.Float64("power", 10, "nominal worker computing power")
+		thresh  = flag.Int("threshold", 2, "WQR-FT replication threshold")
+		lease   = flag.Duration("lease", 30*time.Second, "worker lease (silence past it = machine failure)")
+		retry   = flag.Int("retryms", 100, "idle-poll retry hint, milliseconds")
+		seed    = flag.Uint64("seed", 42, "seed for the Random policy")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+
+	k, err := core.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := serve.Config{
+		Policy:      k,
+		MaxWorkers:  *workers,
+		WorkerPower: *power,
+		Sched:       core.SchedConfig{Threshold: *thresh},
+		Lease:       *lease,
+		RetryMs:     *retry,
+		Seed:        *seed,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("botserved: policy %s, %d worker slots, lease %s, on http://%s/",
+		k, *workers, *lease, ln.Addr())
+	if err := run(ctx, ln, cfg, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("botserved: drained and stopped")
+}
+
+// run serves cfg on ln until ctx is cancelled, then drains: the listener
+// closes, in-flight requests finish (up to grace), and the lease sweeper
+// stops. It returns nil on a clean drain.
+func run(ctx context.Context, ln net.Listener, cfg serve.Config, grace time.Duration) error {
+	s := serve.NewServer(cfg)
+	defer s.Close()
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil {
+		hs.Close()
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/serve"
+)
+
+// TestGracefulDrain checks the SIGTERM path end to end: after cancellation
+// the listener closes immediately (new connections refused) while a
+// request already in flight — its body only half-sent — still completes.
+func TestGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, ln, serve.Config{Policy: core.FCFSShare, MaxWorkers: 4,
+			Lease: time.Minute}, 5*time.Second)
+	}()
+
+	// Wait for the server to accept requests.
+	waitHealthy(t, addr)
+
+	// Open an in-flight request: headers plus half the body, then stall.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := `{"granularity":10,"works":[10,10]}`
+	fmt.Fprintf(conn, "POST /v1/bags HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
+		addr, len(body))
+	io.WriteString(conn, body[:10])
+	time.Sleep(50 * time.Millisecond) // let the handler block on the body
+
+	cancel() // SIGTERM
+
+	// The listener must close promptly: new connections get refused.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		c2, err := net.Dial("tcp", addr)
+		if err != nil {
+			break
+		}
+		c2.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after shutdown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The stalled request drains: finish the body, read a 200.
+	if _, err := io.WriteString(conn, body[10:]); err != nil {
+		t.Fatalf("in-flight connection was cut: %v", err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("in-flight request died during drain: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after drain")
+	}
+}
+
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	c := serve.NewClient("http://" + addr)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, err := c.Stats(); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

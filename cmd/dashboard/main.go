@@ -14,13 +14,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"botgrid/internal/experiment"
 )
@@ -33,6 +39,7 @@ func main() {
 		minReps = flag.Int("minreps", 0, "override minimum replications per cell")
 		maxReps = flag.Int("maxreps", 0, "override maximum replications per cell")
 		bots    = flag.Int("bots", 0, "override BoT arrivals per replication")
+		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -50,9 +57,41 @@ func main() {
 		opts.NumBoTs = *bots
 	}
 
-	srv := newServer(opts)
-	log.Printf("dashboard listening on http://%s/ (scale %.2g)", *addr, opts.Scale)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("dashboard listening on http://%s/ (scale %.2g)", ln.Addr(), opts.Scale)
+	if err := run(ctx, ln, opts, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dashboard: drained and stopped")
+}
+
+// run serves the dashboard on ln until ctx is cancelled, then drains
+// gracefully: the listener closes, in-flight figure runs finish (bounded
+// by grace), and run returns nil.
+func run(ctx context.Context, ln net.Listener, opts experiment.Options, grace time.Duration) error {
+	hs := &http.Server{Handler: newServer(opts)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil {
+		hs.Close()
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // server runs and caches figure results.

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/experiment"
+)
+
+// TestGracefulDrain covers the SIGTERM path: cancellation closes the
+// listener promptly while a figure request already being computed is
+// allowed to finish and deliver its response.
+func TestGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	// Heavier-than-quick options so the in-flight figure run reliably
+	// straddles the cancellation below.
+	opts := experiment.QuickOptions(3)
+	opts.Granularities = []float64{1000}
+	opts.Policies = []core.PolicyKind{core.FCFSShare, core.RR}
+	opts.MinReps, opts.MaxReps = 4, 4
+	opts.NumBoTs, opts.Warmup = 60, 10
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, ln, opts, 30*time.Second) }()
+
+	// Wait until the server answers, then start an uncached figure run on
+	// a raw connection so we can read its response after shutdown begins.
+	waitHealthy(t, addr)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /api/figure/F1a HTTP/1.1\r\nHost: %s\r\n\r\n", addr)
+	time.Sleep(20 * time.Millisecond) // let the handler start computing
+
+	cancel() // SIGTERM
+
+	// New connections get refused once the listener closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c2, err := net.Dial("tcp", addr)
+		if err != nil {
+			break
+		}
+		c2.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after shutdown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The in-flight figure run completes and its response arrives.
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("in-flight request died during drain: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean drain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after drain")
+	}
+}
+
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"botgrid/internal/rng"
+)
+
+// benchScheduler builds a live-mode scheduler mid-flight: 64 active bags
+// of 32 tasks, 32 of 128 worker slots busy, the rest of the queue pending.
+// This is the state each policy's SelectBag sees on every free machine.
+func benchScheduler(k PolicyKind) *Scheduler {
+	g := liveGrid(128)
+	s := NewLiveScheduler(&fakeClock{}, g, NewPolicy(k, rng.Root(1, "policy")),
+		DefaultSchedConfig(), nil)
+	works := make([]float64, 32)
+	for i := range works {
+		works[i] = 100
+	}
+	for i := 0; i < 64; i++ {
+		s.Submit(1000, works)
+	}
+	for i := 0; i < 32; i++ {
+		join(s, g.Machines[i], 0)
+	}
+	return s
+}
+
+// BenchmarkDispatchDecision measures each bag-selection policy's
+// per-free-machine decision cost — the hot path of the simulation dispatch
+// loop and of every fetch served by the live work-dispatch service.
+func BenchmarkDispatchDecision(b *testing.B) {
+	for _, k := range Kinds {
+		b.Run(k.String(), func(b *testing.B) {
+			s := benchScheduler(k)
+			thr := s.effectiveThreshold()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.policy.SelectBag(s, thr) == nil {
+					b.Fatal("no schedulable bag")
+				}
+			}
+		})
+	}
+}

@@ -29,6 +29,10 @@ type Replica struct {
 	Task *Task
 	// Machine hosts the replica.
 	Machine *grid.Machine
+	// Seq uniquely identifies the replica within its scheduler's
+	// lifetime (dispatch order, starting at 1). The live work-dispatch
+	// service uses it as the replica token workers echo in reports.
+	Seq uint64
 	// Started is when the replica was dispatched.
 	Started float64
 	// Phase is the replica's current activity.
@@ -166,10 +170,20 @@ type freeEntry struct {
 // Scheduler is the centralized two-step scheduler of the paper: a bag
 // selection Policy layered over WQR-FT individual-bag scheduling.
 // It implements grid.Listener to react to machine failures and repairs.
+//
+// A scheduler runs in one of two modes sharing all policy and bookkeeping
+// code. In simulation mode (NewScheduler) time flows from a des.Engine and
+// replica execution is predicted by scheduling compute/checkpoint events on
+// it. In live mode (NewLiveScheduler) time flows from an arbitrary Clock
+// (typically a WallClock), no events are scheduled, and real workers drive
+// completion through CompleteReplica and failure through MachineFailed.
+// Neither mode is safe for concurrent use; live callers must serialize
+// access (internal/serve wraps every call in a mutex).
 type Scheduler struct {
-	eng    *des.Engine
+	clock  Clock
+	eng    *des.Engine // nil in live mode
 	grid   *grid.Grid
-	ckpt   *checkpoint.Server
+	ckpt   *checkpoint.Server // nil in live mode
 	policy Policy
 	cfg    SchedConfig
 	obs    Observer
@@ -208,6 +222,7 @@ func NewScheduler(eng *des.Engine, g *grid.Grid, ck *checkpoint.Server, p Policy
 		obs = NopObserver{}
 	}
 	s := &Scheduler{
+		clock:        eng,
 		eng:          eng,
 		grid:         g,
 		ckpt:         ck,
@@ -225,12 +240,44 @@ func NewScheduler(eng *des.Engine, g *grid.Grid, ck *checkpoint.Server, p Policy
 	return s
 }
 
+// NewLiveScheduler wires a scheduler in live mode: time is read from clock
+// and replicas execute on external workers instead of simulated events.
+// Checkpointing is not modeled (a resubmitted task restarts from scratch,
+// plain-WQR style); SuspendOnFailure requires simulated events and is
+// rejected. obs may be nil. The caller owns synchronization.
+func NewLiveScheduler(clock Clock, g *grid.Grid, p Policy, cfg SchedConfig, obs Observer) *Scheduler {
+	if cfg.Threshold < 1 {
+		panic(fmt.Sprintf("core: replication threshold %d must be >= 1", cfg.Threshold))
+	}
+	if cfg.SuspendOnFailure {
+		panic("core: SuspendOnFailure needs the simulation executor")
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	s := &Scheduler{
+		clock:        clock,
+		grid:         g,
+		policy:       p,
+		cfg:          cfg,
+		obs:          obs,
+		ckptInterval: math.Inf(1),
+		mstate:       make([]machState, len(g.Machines)),
+	}
+	for _, m := range g.Machines {
+		if m.Up() {
+			s.pushFree(m)
+		}
+	}
+	return s
+}
+
 // Bags returns the active bags in arrival order. The slice is owned by the
 // scheduler; callers must not mutate it.
 func (s *Scheduler) Bags() []*Bag { return s.bags }
 
 // Now returns the current simulation time.
-func (s *Scheduler) Now() float64 { return s.eng.Now() }
+func (s *Scheduler) Now() float64 { return s.clock.Now() }
 
 // Submitted returns the number of bags submitted so far.
 func (s *Scheduler) Submitted() int { return s.submitted }
@@ -282,12 +329,12 @@ func (s *Scheduler) Submit(granularity float64, works []float64) *Bag {
 	case ShortestFirst:
 		works = sortedWorks(works, func(a, b float64) bool { return a < b })
 	}
-	b := newBag(s.nextBagID, s.eng.Now(), granularity, works)
+	b := newBag(s.nextBagID, s.clock.Now(), granularity, works)
 	s.nextBagID++
 	s.submitted++
 	s.bags = append(s.bags, b)
 	s.pendingTotal += len(works)
-	s.obs.BagSubmitted(s.eng.Now(), b)
+	s.obs.BagSubmitted(s.clock.Now(), b)
 	s.dispatch()
 	return b
 }
@@ -379,7 +426,7 @@ func (s *Scheduler) takeFastestFree() *grid.Machine {
 
 // startReplica launches a replica of t on m.
 func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
-	now := s.eng.Now()
+	now := s.clock.Now()
 	b := t.Bag
 	if t.State == TaskPending {
 		t.idleAccum += now - t.idleSince
@@ -397,8 +444,14 @@ func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
 	b.running++
 	s.totalRunning++
 	s.replicasStarted++
+	r.Seq = uint64(s.replicasStarted)
 	s.mstate[m.ID].replica = r
 	s.obs.ReplicaStarted(now, r, restart)
+	if s.eng == nil {
+		// Live mode: the worker holding m executes the replica and
+		// drives completion through CompleteReplica.
+		return
+	}
 	if t.Checkpointed > 0 && s.ckpt.Enabled() {
 		r.Phase = PhaseRetrieving
 		r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.RetrieveTime(), func() {
@@ -414,7 +467,7 @@ func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
 // task completion or at the next Young checkpoint.
 func (s *Scheduler) beginSegment(r *Replica) {
 	r.Phase = PhaseComputing
-	r.segStart = s.eng.Now()
+	r.segStart = s.clock.Now()
 	remainWall := (r.Task.Work - r.done) / r.Machine.Power
 	if remainWall <= s.ckptInterval {
 		r.ev = s.eng.Schedule(remainWall, func(*des.Engine) {
@@ -437,7 +490,7 @@ func (s *Scheduler) startSave(r *Replica) {
 		if r.done > r.Task.Checkpointed {
 			r.Task.Checkpointed = r.done
 		}
-		s.obs.CheckpointSaved(s.eng.Now(), r.Task, r.done)
+		s.obs.CheckpointSaved(s.clock.Now(), r.Task, r.done)
 		s.beginSegment(r)
 	})
 }
@@ -445,7 +498,7 @@ func (s *Scheduler) startSave(r *Replica) {
 // completeTask finishes t via winning replica r: every sibling replica is
 // killed and its machine freed, per WQR-FT.
 func (s *Scheduler) completeTask(r *Replica) {
-	now := s.eng.Now()
+	now := s.clock.Now()
 	t := r.Task
 	b := t.Bag
 	if t.State != TaskRunning {
@@ -484,9 +537,37 @@ func (s *Scheduler) completeTask(r *Replica) {
 	s.dispatch()
 }
 
+// ReplicaOn returns the replica currently hosted by m, or nil when the
+// machine is free or down. The live service uses it to answer worker
+// fetches and to validate reports.
+func (s *Scheduler) ReplicaOn(m *grid.Machine) *Replica { return s.mstate[m.ID].replica }
+
+// CompleteReplica finishes r's task through r, as reported by the external
+// worker executing it. It is the live-mode counterpart of the simulation
+// executor's timed completion event and applies the usual WQR-FT
+// bookkeeping: every sibling replica is killed and its machine freed, and
+// freed machines are immediately re-dispatched. It panics when called on a
+// simulation scheduler or with a replica that is no longer current (callers
+// must validate staleness first, see ReplicaOn).
+func (s *Scheduler) CompleteReplica(r *Replica) {
+	if s.eng != nil {
+		panic("core: CompleteReplica is a live-mode entry point")
+	}
+	if s.mstate[r.Machine.ID].replica != r {
+		panic("core: completing a stale replica")
+	}
+	r.done = r.Task.Work
+	s.completeTask(r)
+}
+
 // cancelReplicaWork aborts whatever the replica is doing: its next compute
-// event and any in-flight or queued checkpoint transfer.
+// event and any in-flight or queued checkpoint transfer. Live replicas have
+// no scheduled work; their worker discovers the cancellation when its next
+// report or fetch no longer matches the replica.
 func (s *Scheduler) cancelReplicaWork(r *Replica) {
+	if s.eng == nil {
+		return
+	}
 	s.eng.Cancel(r.ev)
 	if r.xfer != nil {
 		r.xfer.Cancel(s.eng)
@@ -509,7 +590,7 @@ func (s *Scheduler) removeBag(b *Bag) {
 // lost; a task left with no replicas re-enters its bag's queue at the front
 // for priority resubmission, restarting from its latest checkpoint.
 func (s *Scheduler) MachineFailed(m *grid.Machine) {
-	now := s.eng.Now()
+	now := s.clock.Now()
 	st := &s.mstate[m.ID]
 	if st.free {
 		st.free = false // its stack entry goes stale
@@ -550,7 +631,7 @@ func (s *Scheduler) MachineFailed(m *grid.Machine) {
 // SchedConfig.SuspendOnFailure) resumes; otherwise the machine rejoins the
 // free pool.
 func (s *Scheduler) MachineRepaired(m *grid.Machine) {
-	s.obs.MachineRepaired(s.eng.Now(), m)
+	s.obs.MachineRepaired(s.clock.Now(), m)
 	if r := s.mstate[m.ID].replica; r != nil && r.Suspended {
 		s.resumeReplica(r)
 		return
@@ -564,7 +645,7 @@ func (s *Scheduler) MachineRepaired(m *grid.Machine) {
 // Interrupted checkpoint transfers are abandoned and redone on resume.
 func (s *Scheduler) suspendReplica(r *Replica) {
 	if r.Phase == PhaseComputing {
-		progress := (s.eng.Now() - r.segStart) * r.Machine.Power
+		progress := (s.clock.Now() - r.segStart) * r.Machine.Power
 		r.done += progress
 		if r.done > r.Task.Work {
 			r.done = r.Task.Work

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Client speaks the work-dispatch protocol. It is safe for concurrent use
+// (many SimWorkers share one Client and its connection pool).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a server at base (e.g.
+// "http://127.0.0.1:8431"). The connection pool is sized for hundreds of
+// concurrent workers.
+func NewClient(base string) *Client {
+	tr := &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+	}
+	return &Client{base: base, hc: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+}
+
+// post sends a JSON request and decodes the JSON response into out.
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, path, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, path, out)
+}
+
+func decodeResponse(resp *http.Response, path string, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("serve: %s: status %d: %s", path, resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enters a bag and returns its ID.
+func (c *Client) Submit(granularity float64, works []float64) (int, error) {
+	var resp SubmitResponse
+	err := c.post("/v1/bags", SubmitRequest{Granularity: granularity, Works: works}, &resp)
+	return resp.Bag, err
+}
+
+// Bag returns a bag's status.
+func (c *Client) Bag(id int) (BagStatus, error) {
+	var st BagStatus
+	err := c.get(fmt.Sprintf("/v1/bags/%d", id), &st)
+	return st, err
+}
+
+// Fetch requests worker id's current assignment.
+func (c *Client) Fetch(worker string, power float64) (FetchResponse, error) {
+	var resp FetchResponse
+	err := c.post("/v1/workers/"+worker+"/fetch", FetchRequest{Power: power}, &resp)
+	return resp, err
+}
+
+// Report reports an assignment outcome (StatusDone or StatusFailed).
+func (c *Client) Report(worker string, replica uint64, status string) (string, error) {
+	var resp ReportResponse
+	err := c.post("/v1/workers/"+worker+"/report",
+		ReportRequest{Replica: replica, Status: status}, &resp)
+	return resp.Ack, err
+}
+
+// Heartbeat renews worker id's lease mid-computation; an AckStale return
+// means the replica was superseded and the work should be abandoned.
+func (c *Client) Heartbeat(worker string, replica uint64) (string, error) {
+	var resp HeartbeatResponse
+	err := c.post("/v1/workers/"+worker+"/heartbeat", HeartbeatRequest{Replica: replica}, &resp)
+	return resp.Ack, err
+}
+
+// Stats returns the scheduler snapshot.
+func (c *Client) Stats() (StatsResponse, error) {
+	var st StatsResponse
+	err := c.get("/v1/stats", &st)
+	return st, err
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/rng"
+	"botgrid/internal/workload"
+)
+
+// The live-vs-simulator closing test: the same small-granularity workload
+// on the same 8-machine grid, once through core.Run (virtual time) and
+// once through the HTTP service with real sleeping workers (wall time,
+// reference seconds compressed by timeScale), must reproduce the paper's
+// Figure 1 ranking shape — FCFS-based and LongIdle beat RR — in both
+// worlds.
+
+const (
+	lvsWorkers   = 8
+	lvsPower     = 10
+	lvsBags      = 6
+	lvsTasks     = 24
+	lvsTimeScale = 5e-5 // 1 reference second = 50 µs of wall time
+)
+
+// lvsBots generates the shared workload: six simultaneous small-granularity
+// bags with the paper's U[0.5X, 1.5X] task durations (X = 2000).
+func lvsBots() []*workload.BoT {
+	str := rng.Root(99, "live-vs-sim")
+	bots := make([]*workload.BoT, lvsBags)
+	for i := range bots {
+		works := make([]float64, lvsTasks)
+		for j := range works {
+			works[j] = str.Uniform(1000, 3000)
+		}
+		bots[i] = &workload.BoT{ID: i, Granularity: 2000, TaskWork: works}
+	}
+	return bots
+}
+
+// simMeanTurnaround runs the workload in the simulator.
+func simMeanTurnaround(t *testing.T, k core.PolicyKind, bots []*workload.BoT) float64 {
+	t.Helper()
+	gc := grid.DefaultConfig(grid.Hom, grid.AlwaysUp)
+	gc.TotalPower = lvsWorkers * lvsPower
+	res, err := core.Run(core.RunConfig{
+		Seed:   1,
+		Grid:   gc,
+		Policy: k,
+		Bots:   bots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated || len(res.Bags) != lvsBags {
+		t.Fatalf("sim %s: saturated=%v bags=%d", k, res.Saturated, len(res.Bags))
+	}
+	return res.MeanTurnaround()
+}
+
+// liveMeanTurnaround runs the workload through the HTTP service with a
+// fleet of sleeping workers, returning the mean turnaround in reference
+// seconds (wall seconds divided by timeScale) for comparability.
+func liveMeanTurnaround(t *testing.T, k core.PolicyKind, bots []*workload.BoT) float64 {
+	t.Helper()
+	srv := NewServer(Config{
+		Policy:      k,
+		MaxWorkers:  lvsWorkers,
+		WorkerPower: lvsPower,
+		Lease:       10 * time.Second,
+		RetryMs:     1,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < lvsWorkers; i++ {
+		w := NewSimWorker(c, WorkerConfig{
+			ID:        fmt.Sprintf("lv%d", i),
+			Power:     lvsPower,
+			TimeScale: lvsTimeScale,
+			Poll:      time.Millisecond,
+		}, nil)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+
+	// Submit every bag at once (the workload's simultaneous arrivals).
+	for _, b := range bots {
+		if _, err := c.Submit(b.Granularity, b.TaskWork); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var st StatsResponse
+	for {
+		var err error
+		st, err = c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BagsCompleted == lvsBags {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("live %s timed out: %+v", k, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+
+	sum := 0.0
+	for _, b := range st.Bags {
+		if !b.Completed {
+			t.Fatalf("live %s: bag %d incomplete in final stats", k, b.Bag)
+		}
+		sum += b.Turnaround
+	}
+	return sum / float64(lvsBags) / lvsTimeScale
+}
+
+func TestLiveMatchesSimulatorPolicyRanking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock integration test")
+	}
+	bots := lvsBots()
+	policies := []core.PolicyKind{core.FCFSShare, core.LongIdle, core.RR}
+	sim := make(map[core.PolicyKind]float64)
+	live := make(map[core.PolicyKind]float64)
+	for _, k := range policies {
+		sim[k] = simMeanTurnaround(t, k, bots)
+		live[k] = liveMeanTurnaround(t, k, bots)
+		t.Logf("%-10s sim %8.0f ref-s   live %8.0f ref-s", k, sim[k], live[k])
+	}
+	// Figure 1's small-granularity shape, in the simulator...
+	if !(sim[core.FCFSShare] < sim[core.RR]) || !(sim[core.LongIdle] < sim[core.RR]) {
+		t.Fatalf("simulator ranking broken: %+v", sim)
+	}
+	// ...and reproduced by the live service under wall-clock time.
+	if !(live[core.FCFSShare] < live[core.RR]) || !(live[core.LongIdle] < live[core.RR]) {
+		t.Fatalf("live ranking diverges from simulator: %+v", live)
+	}
+}

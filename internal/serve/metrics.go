@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates duration samples into a bounded ring and
+// summarizes them as percentiles. It is safe for concurrent use and cheap
+// enough for request hot paths: Observe is O(1), Summary copies and sorts
+// the retained window. Both the server (decision latency) and the load
+// generator (fetch round-trips) use it.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	ring    []float64 // seconds
+	idx     int
+	filled  bool
+	count   int
+	max     float64
+}
+
+// NewLatencyRecorder returns a recorder retaining the last window samples
+// (default 4096 when window <= 0).
+func NewLatencyRecorder(window int) *LatencyRecorder {
+	if window <= 0 {
+		window = 4096
+	}
+	return &LatencyRecorder{ring: make([]float64, window)}
+}
+
+// Observe records one sample.
+func (l *LatencyRecorder) Observe(d time.Duration) {
+	s := d.Seconds()
+	l.mu.Lock()
+	l.ring[l.idx] = s
+	l.idx++
+	if l.idx == len(l.ring) {
+		l.idx, l.filled = 0, true
+	}
+	l.count++
+	if s > l.max {
+		l.max = s
+	}
+	l.mu.Unlock()
+}
+
+// Summary returns percentiles over the retained window; Count and Max
+// cover every sample ever observed.
+func (l *LatencyRecorder) Summary() LatencySummary {
+	l.mu.Lock()
+	n := l.idx
+	if l.filled {
+		n = len(l.ring)
+	}
+	window := make([]float64, n)
+	copy(window, l.ring[:n])
+	out := LatencySummary{Count: l.count, Max: l.max}
+	l.mu.Unlock()
+	if n == 0 {
+		return out
+	}
+	sort.Float64s(window)
+	out.P50 = percentile(window, 0.50)
+	out.P95 = percentile(window, 0.95)
+	out.P99 = percentile(window, 0.99)
+	return out
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank on the closed
+// interval, so q=1 is the maximum of the window).
+func percentile(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// counters are the server's monotonic event counters, mutated only with
+// the server mutex held and exported verbatim on /metrics.
+type counters struct {
+	Fetches       int `json:"fetches"`
+	Assigned      int `json:"assigned"`
+	NoWork        int `json:"no_work"`
+	ReportsDone   int `json:"reports_done"`
+	ReportsFailed int `json:"reports_failed"`
+	StaleReports  int `json:"stale_reports"`
+	Heartbeats    int `json:"heartbeats"`
+	Submits       int `json:"submits"`
+	LeaseExpiries int `json:"lease_expiries"`
+}

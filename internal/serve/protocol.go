@@ -1,0 +1,135 @@
+package serve
+
+// Wire types of the work-dispatch protocol. Workers poll the server in the
+// BOINC/OurGrid pull style:
+//
+//	POST /v1/bags                   submit a Bag-of-Tasks     (SubmitRequest)
+//	GET  /v1/bags/{id}              bag status                (BagStatus)
+//	POST /v1/workers/{id}/fetch     request a task replica    (FetchRequest)
+//	POST /v1/workers/{id}/report    report done/failed        (ReportRequest)
+//	POST /v1/workers/{id}/heartbeat renew the lease           (HeartbeatRequest)
+//	GET  /v1/stats                  scheduler snapshot        (StatsResponse)
+//	GET  /metrics                   expvar-style counters
+//
+// Every fetch, report and heartbeat renews the worker's lease; a worker
+// silent for longer than the lease is treated exactly like the paper's
+// machine failure: its replica is killed and the task resubmitted at the
+// front of its bag's queue (WQR-FT semantics).
+
+// SubmitRequest enters a new bag. Works are per-task durations on the
+// reference machine (power 1), in seconds — the same unit the simulator
+// uses.
+type SubmitRequest struct {
+	Granularity float64   `json:"granularity"`
+	Works       []float64 `json:"works"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	Bag   int `json:"bag"`
+	Tasks int `json:"tasks"`
+}
+
+// FetchRequest asks for the worker's current assignment. Power advertises
+// the worker's computing power on first contact; it is informational (the
+// knowledge-free policies never read it) and defaults to the server's
+// nominal slot power.
+type FetchRequest struct {
+	Power float64 `json:"power,omitempty"`
+}
+
+// Assignment describes one task replica handed to a worker. Replica is the
+// token the worker must echo in reports and heartbeats; a mismatch means
+// the replica was superseded (sibling finished first, or the lease
+// expired) and the worker should discard its work.
+type Assignment struct {
+	Replica uint64  `json:"replica"`
+	Bag     int     `json:"bag"`
+	Task    int     `json:"task"`
+	Work    float64 `json:"work"`
+}
+
+// FetchResponse carries the assignment, or a retry hint when the queue has
+// nothing for this worker yet. Fetch is idempotent: re-fetching while an
+// assignment is outstanding returns the same assignment (crash recovery).
+type FetchResponse struct {
+	Assigned   bool        `json:"assigned"`
+	Assignment *Assignment `json:"assignment,omitempty"`
+	RetryMs    int         `json:"retry_ms,omitempty"`
+}
+
+// Report statuses.
+const (
+	StatusDone   = "done"   // the task's output was computed
+	StatusFailed = "failed" // the worker could not finish the replica
+)
+
+// Report acks.
+const (
+	AckOK    = "ok"    // the report was applied
+	AckStale = "stale" // the replica was superseded; discard the work
+)
+
+// ReportRequest reports the outcome of an assignment.
+type ReportRequest struct {
+	Replica uint64 `json:"replica"`
+	Status  string `json:"status"`
+}
+
+// ReportResponse acknowledges a report.
+type ReportResponse struct {
+	Ack string `json:"ack"`
+}
+
+// HeartbeatRequest renews the lease mid-computation.
+type HeartbeatRequest struct {
+	Replica uint64 `json:"replica"`
+}
+
+// HeartbeatResponse tells the worker whether its replica is still wanted.
+type HeartbeatResponse struct {
+	Ack string `json:"ack"`
+}
+
+// BagStatus reports a bag's progress. DoneAt and Turnaround are -1 while
+// the bag is incomplete; times are seconds on the server's clock.
+type BagStatus struct {
+	Bag         int     `json:"bag"`
+	Granularity float64 `json:"granularity"`
+	Tasks       int     `json:"tasks"`
+	Done        int     `json:"done"`
+	Completed   bool    `json:"completed"`
+	Arrival     float64 `json:"arrival"`
+	DoneAt      float64 `json:"done_at"`
+	Turnaround  float64 `json:"turnaround"`
+}
+
+// LatencySummary summarizes a latency distribution in seconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// StatsResponse is the /v1/stats snapshot.
+type StatsResponse struct {
+	Policy          string       `json:"policy"`
+	Now             float64      `json:"now"`
+	Workers         int          `json:"workers"`
+	LiveWorkers     int          `json:"live_workers"`
+	FreeWorkers     int          `json:"free_workers"`
+	PendingTasks    int          `json:"pending_tasks"`
+	RunningReplicas int          `json:"running_replicas"`
+	BagsSubmitted   int          `json:"bags_submitted"`
+	BagsCompleted   int          `json:"bags_completed"`
+	TasksCompleted  int          `json:"tasks_completed"`
+	ReplicasStarted int          `json:"replicas_started"`
+	ReplicasKilled  int          `json:"replicas_killed"`
+	ReplicaFailures int          `json:"replica_failures"`
+	LeaseExpiries   int          `json:"lease_expiries"`
+	StaleReports    int          `json:"stale_reports"`
+	Bags            []BagStatus  `json:"bags"`
+	DecisionLatency LatencySummary `json:"decision_latency"`
+}

@@ -1,0 +1,490 @@
+// Package serve runs the paper's knowledge-free bag-selection policies as
+// a live work-dispatch service: the same core.Scheduler that drives the
+// simulator, wrapped in a mutex and driven by wall-clock time, serving
+// real concurrent workers over HTTP.
+//
+// Workers pull in the BOINC/OurGrid style: each registered worker owns one
+// grid.Machine slot, fetching maps to the machine joining the free pool,
+// and the scheduler's two-step dispatch (bag selection + WQR-FT) assigns
+// replicas to idle slots the instant work arrives. A worker that stops
+// heartbeating past its lease is handled exactly like the paper's machine
+// failure: the replica is killed and its task resubmitted at the front of
+// the bag's queue. See protocol.go for the endpoint reference.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+	"botgrid/internal/rng"
+)
+
+// Config tunes the work-dispatch server.
+type Config struct {
+	// Policy selects the bag-selection policy (default FCFS-Share).
+	Policy core.PolicyKind
+	// MaxWorkers caps registered workers; each owns one machine slot
+	// (default 256).
+	MaxWorkers int
+	// WorkerPower is each slot's nominal computing power (default 10,
+	// the paper's Hom machine). The knowledge-free policies never read
+	// it; it only scales stats.
+	WorkerPower float64
+	// Sched tunes WQR-FT (zero value: threshold 2, static replication).
+	Sched core.SchedConfig
+	// Lease is how long a worker may stay silent before it is declared
+	// failed (default 30s). Zero or negative disables the background
+	// sweeper; ExpireLeases may still be called explicitly.
+	Lease time.Duration
+	// RetryMs is the poll-again hint returned to idle workers
+	// (default 100).
+	RetryMs int
+	// Seed drives the Random policy's stream.
+	Seed uint64
+	// Observer, when non-nil, receives every scheduling event. Callbacks
+	// run with the server's mutex held; they must not call back into the
+	// server.
+	Observer core.Observer
+	// Clock overrides the time source (tests); nil means a WallClock
+	// started at NewServer.
+	Clock core.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 256
+	}
+	if c.WorkerPower <= 0 {
+		c.WorkerPower = 10
+	}
+	if c.Sched.Threshold == 0 {
+		c.Sched.Threshold = 2
+	}
+	if c.Lease == 0 {
+		c.Lease = 30 * time.Second
+	}
+	if c.RetryMs <= 0 {
+		c.RetryMs = 100
+	}
+	return c
+}
+
+// workerState tracks one registered worker.
+type workerState struct {
+	id       string
+	m        *grid.Machine
+	power    float64
+	lastSeen float64 // server-clock seconds of the last fetch/report/heartbeat
+}
+
+// Server is the live work-dispatch service. It implements http.Handler.
+// All scheduler state is guarded by mu; every request holds it for exactly
+// one short critical section (the decision-latency metric measures it).
+type Server struct {
+	cfg   Config
+	clock core.Clock
+	mux   *http.ServeMux
+
+	decLat *LatencyRecorder
+
+	mu      sync.Mutex
+	g       *grid.Grid
+	sched   *core.Scheduler
+	workers map[string]*workerState
+	bags    map[int]*core.Bag // every submitted bag by ID, completed included
+	bagIDs  []int             // submission order
+	met     counters
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewServer builds a server and, when cfg.Lease > 0, starts the lease
+// sweeper goroutine. Call Close to stop it.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = core.NewWallClock()
+	}
+	powers := make([]float64, cfg.MaxWorkers)
+	for i := range powers {
+		powers[i] = cfg.WorkerPower
+	}
+	g := grid.NewCustom(grid.DefaultConfig(grid.Hom, grid.AlwaysUp), powers)
+	now := clock.Now()
+	for _, m := range g.Machines {
+		m.ForceFail(now) // slots join the grid when their worker registers
+	}
+	pol := core.NewPolicy(cfg.Policy, rng.Root(cfg.Seed, "policy"))
+	s := &Server{
+		cfg:     cfg,
+		clock:   clock,
+		mux:     http.NewServeMux(),
+		decLat:  NewLatencyRecorder(0),
+		g:       g,
+		sched:   core.NewLiveScheduler(clock, g, pol, cfg.Sched, cfg.Observer),
+		workers: make(map[string]*workerState),
+		bags:    make(map[int]*core.Bag),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/bags", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/bags/{id}", s.handleBag)
+	s.mux.HandleFunc("POST /v1/workers/{id}/fetch", s.handleFetch)
+	s.mux.HandleFunc("POST /v1/workers/{id}/report", s.handleReport)
+	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Lease > 0 {
+		go s.sweep()
+	} else {
+		close(s.done)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the lease sweeper. The handler stays usable (requests still
+// work); only background expiry ends.
+func (s *Server) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// sweep expires leases every quarter lease.
+func (s *Server) sweep() {
+	defer close(s.done)
+	every := s.cfg.Lease / 4
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.ExpireLeases()
+		}
+	}
+}
+
+// ExpireLeases declares every worker silent for longer than the lease
+// failed — replica killed, task resubmitted, slot removed from the free
+// pool — and returns how many expired. The sweeper calls it periodically;
+// tests call it directly for determinism.
+func (s *Server) ExpireLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	lease := s.cfg.Lease.Seconds()
+	n := 0
+	for _, w := range s.workers {
+		if w.m.Up() && now-w.lastSeen > lease {
+			w.m.ForceFail(now)
+			s.sched.MachineFailed(w.m)
+			s.met.LeaseExpiries++
+			n++
+		}
+	}
+	return n
+}
+
+// worker returns the registered worker, creating it on first contact while
+// slots remain. Must be called with mu held.
+func (s *Server) worker(id string) (*workerState, error) {
+	if w, ok := s.workers[id]; ok {
+		return w, nil
+	}
+	slot := len(s.workers)
+	if slot >= len(s.g.Machines) {
+		return nil, fmt.Errorf("worker capacity %d exhausted", len(s.g.Machines))
+	}
+	w := &workerState{id: id, m: s.g.Machines[slot], power: s.cfg.WorkerPower}
+	s.workers[id] = w
+	return w, nil
+}
+
+// revive brings an absent worker's slot back into the grid. Must be called
+// with mu held.
+func (s *Server) revive(w *workerState) {
+	if !w.m.Up() {
+		w.m.ForceRepair(s.clock.Now())
+		s.sched.MachineRepaired(w.m)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := readJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Works) == 0 {
+		httpError(w, http.StatusBadRequest, "empty bag")
+		return
+	}
+	for _, wk := range req.Works {
+		if wk <= 0 {
+			httpError(w, http.StatusBadRequest, "task work must be positive")
+			return
+		}
+	}
+	start := time.Now()
+	s.mu.Lock()
+	b := s.sched.Submit(req.Granularity, req.Works)
+	s.bags[b.ID] = b
+	s.bagIDs = append(s.bagIDs, b.ID)
+	s.met.Submits++
+	s.mu.Unlock()
+	s.decLat.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, SubmitResponse{Bag: b.ID, Tasks: len(b.Tasks)})
+}
+
+func (s *Server) handleBag(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad bag id")
+		return
+	}
+	s.mu.Lock()
+	b, ok := s.bags[id]
+	var st BagStatus
+	if ok {
+		st = bagStatus(b)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown bag")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// bagStatus snapshots b. Must be called with mu held.
+func bagStatus(b *core.Bag) BagStatus {
+	st := BagStatus{
+		Bag:         b.ID,
+		Granularity: b.Granularity,
+		Tasks:       len(b.Tasks),
+		Done:        b.DoneTasks(),
+		Completed:   b.Complete(),
+		Arrival:     b.Arrival,
+		DoneAt:      b.DoneAt,
+		Turnaround:  -1,
+	}
+	if st.Completed {
+		st.Turnaround = b.DoneAt - b.Arrival
+	}
+	return st
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	var req FetchRequest
+	if err := readJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	ws, err := s.worker(r.PathValue("id"))
+	if err != nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if req.Power > 0 {
+		ws.power = req.Power
+	}
+	ws.lastSeen = s.clock.Now()
+	s.revive(ws)
+	rep := s.sched.ReplicaOn(ws.m)
+	var resp FetchResponse
+	if rep != nil {
+		resp = FetchResponse{Assigned: true, Assignment: &Assignment{
+			Replica: rep.Seq,
+			Bag:     rep.Task.Bag.ID,
+			Task:    rep.Task.ID,
+			Work:    rep.Task.Work,
+		}}
+		s.met.Assigned++
+	} else {
+		resp = FetchResponse{RetryMs: s.cfg.RetryMs}
+		s.met.NoWork++
+	}
+	s.met.Fetches++
+	s.mu.Unlock()
+	s.decLat.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if err := readJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Status != StatusDone && req.Status != StatusFailed {
+		httpError(w, http.StatusBadRequest, "status must be done or failed")
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	ws, ok := s.workers[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown worker")
+		return
+	}
+	now := s.clock.Now()
+	ws.lastSeen = now
+	ack := AckStale
+	if !ws.m.Up() {
+		// The lease expired mid-computation: the replica is already
+		// dead and the task resubmitted. Rejoin the pool empty-handed.
+		s.revive(ws)
+	} else if rep := s.sched.ReplicaOn(ws.m); rep != nil && rep.Seq == req.Replica {
+		ack = AckOK
+		switch req.Status {
+		case StatusDone:
+			s.sched.CompleteReplica(rep)
+			s.met.ReportsDone++
+		case StatusFailed:
+			// A worker-reported failure gets the paper's machine-failure
+			// treatment (kill + resubmit), then the slot rejoins the pool.
+			ws.m.ForceFail(now)
+			s.sched.MachineFailed(ws.m)
+			s.revive(ws)
+			s.met.ReportsFailed++
+		}
+	}
+	if ack == AckStale {
+		s.met.StaleReports++
+	}
+	s.mu.Unlock()
+	s.decLat.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, ReportResponse{Ack: ack})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := readJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	ws, ok := s.workers[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown worker")
+		return
+	}
+	ws.lastSeen = s.clock.Now()
+	ack := AckStale
+	if ws.m.Up() {
+		if rep := s.sched.ReplicaOn(ws.m); rep != nil && rep.Seq == req.Replica {
+			ack = AckOK
+		}
+	}
+	s.met.Heartbeats++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Ack: ack})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.statsLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// statsLocked snapshots the scheduler. Must be called with mu held.
+func (s *Server) statsLocked() StatsResponse {
+	live := 0
+	for _, ws := range s.workers {
+		if ws.m.Up() {
+			live++
+		}
+	}
+	st := StatsResponse{
+		Policy:          s.cfg.Policy.String(),
+		Now:             s.clock.Now(),
+		Workers:         len(s.workers),
+		LiveWorkers:     live,
+		FreeWorkers:     s.sched.FreeMachines(),
+		PendingTasks:    s.sched.PendingTasks(),
+		RunningReplicas: s.sched.RunningReplicas(),
+		BagsSubmitted:   s.sched.Submitted(),
+		BagsCompleted:   s.sched.Completed(),
+		TasksCompleted:  s.sched.TasksCompleted(),
+		ReplicasStarted: s.sched.ReplicasStarted(),
+		ReplicasKilled:  s.sched.ReplicasKilled(),
+		ReplicaFailures: s.sched.ReplicaFailures(),
+		LeaseExpiries:   s.met.LeaseExpiries,
+		StaleReports:    s.met.StaleReports,
+		DecisionLatency: s.decLat.Summary(),
+	}
+	for _, id := range s.bagIDs {
+		st.Bags = append(st.Bags, bagStatus(s.bags[id]))
+	}
+	return st
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	doc := struct {
+		Counters counters `json:"counters"`
+		Gauges   struct {
+			PendingTasks    int `json:"pending_tasks"`
+			RunningReplicas int `json:"running_replicas"`
+			FreeWorkers     int `json:"free_workers"`
+			ActiveBags      int `json:"active_bags"`
+		} `json:"gauges"`
+		DecisionLatency LatencySummary `json:"decision_latency"`
+	}{Counters: s.met, DecisionLatency: s.decLat.Summary()}
+	doc.Gauges.PendingTasks = s.sched.PendingTasks()
+	doc.Gauges.RunningReplicas = s.sched.RunningReplicas()
+	doc.Gauges.FreeWorkers = s.sched.FreeMachines()
+	doc.Gauges.ActiveBags = len(s.sched.Bags())
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// readJSON decodes a small JSON body; an empty body decodes to the zero
+// value so workers can omit optional requests.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 10<<20))
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"botgrid/internal/rng"
+)
+
+// WorkerConfig tunes a SimWorker.
+type WorkerConfig struct {
+	// ID names the worker (its lease identity on the server).
+	ID string
+	// Power is the worker's computing power (default 10): a task of W
+	// reference-seconds computes for W/Power × TimeScale wall seconds.
+	Power float64
+	// TimeScale compresses reference time into wall time (default 0:
+	// tasks complete instantly — pure protocol hammering).
+	TimeScale float64
+	// FailProb is the per-task probability of reporting StatusFailed
+	// instead of completing (injected application failure).
+	FailProb float64
+	// CrashProb is the per-assignment probability of going silent with
+	// the work unreported — the desktop-grid owner pulling the plug. The
+	// worker loop returns; the server notices at lease expiry.
+	CrashProb float64
+	// RequestLatency delays every request (injected network latency).
+	RequestLatency time.Duration
+	// Poll is the idle re-poll interval when the server has no work
+	// (default: the server's retry hint).
+	Poll time.Duration
+	// Heartbeat, when positive, splits long computations into chunks of
+	// this length with a heartbeat between chunks, abandoning the task
+	// if the server says the replica went stale.
+	Heartbeat time.Duration
+}
+
+// SimWorker is a simulated desktop-grid worker: it fetches task replicas
+// over HTTP, "computes" them by sleeping scaled reference time, and
+// reports results — with configurable failure, crash and latency
+// injection. The load generator, the examples and the integration tests
+// all drive the live server with fleets of SimWorkers.
+type SimWorker struct {
+	cfg WorkerConfig
+	c   *Client
+	str *rng.Stream
+
+	// RTT, when non-nil, receives one sample per fetch round-trip.
+	RTT *LatencyRecorder
+
+	tasksDone   atomic.Int64
+	tasksFailed atomic.Int64
+	crashed     atomic.Bool
+}
+
+// NewSimWorker wires a worker to a client. str drives failure injection
+// and may be nil when FailProb and CrashProb are zero.
+func NewSimWorker(c *Client, cfg WorkerConfig, str *rng.Stream) *SimWorker {
+	if cfg.Power <= 0 {
+		cfg.Power = 10
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 10 * time.Millisecond
+	}
+	return &SimWorker{cfg: cfg, c: c, str: str}
+}
+
+// TasksDone returns the number of tasks this worker completed.
+func (w *SimWorker) TasksDone() int { return int(w.tasksDone.Load()) }
+
+// TasksFailed returns the number of injected failure reports.
+func (w *SimWorker) TasksFailed() int { return int(w.tasksFailed.Load()) }
+
+// Crashed reports whether the worker went silent via CrashProb.
+func (w *SimWorker) Crashed() bool { return w.crashed.Load() }
+
+// Run polls for work until ctx is cancelled (returning nil), the worker
+// crashes (returning nil with Crashed set), or a request errors.
+func (w *SimWorker) Run(ctx context.Context) error {
+	for {
+		if err := sleepCtx(ctx, w.cfg.RequestLatency); err != nil {
+			return nil
+		}
+		start := time.Now()
+		resp, err := w.c.Fetch(w.cfg.ID, w.cfg.Power)
+		if w.RTT != nil {
+			w.RTT.Observe(time.Since(start))
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if !resp.Assigned {
+			wait := w.cfg.Poll
+			if resp.RetryMs > 0 && w.cfg.Poll == 10*time.Millisecond {
+				wait = time.Duration(resp.RetryMs) * time.Millisecond
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				return nil
+			}
+			continue
+		}
+		a := resp.Assignment
+		if w.str != nil && w.cfg.CrashProb > 0 && w.str.Float64() < w.cfg.CrashProb {
+			w.crashed.Store(true)
+			return nil
+		}
+		stale, err := w.compute(ctx, a)
+		if err != nil {
+			return nil // ctx cancelled mid-computation
+		}
+		if stale {
+			continue
+		}
+		status := StatusDone
+		if w.str != nil && w.cfg.FailProb > 0 && w.str.Float64() < w.cfg.FailProb {
+			status = StatusFailed
+		}
+		if err := sleepCtx(ctx, w.cfg.RequestLatency); err != nil {
+			return nil
+		}
+		ack, err := w.c.Report(w.cfg.ID, a.Replica, status)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if ack == AckOK {
+			if status == StatusDone {
+				w.tasksDone.Add(1)
+			} else {
+				w.tasksFailed.Add(1)
+			}
+		}
+	}
+}
+
+// compute sleeps the task's scaled duration, heartbeating when configured.
+// It reports whether the replica went stale mid-computation.
+func (w *SimWorker) compute(ctx context.Context, a *Assignment) (stale bool, err error) {
+	d := time.Duration(a.Work / w.cfg.Power * w.cfg.TimeScale * float64(time.Second))
+	if w.cfg.Heartbeat <= 0 || d <= w.cfg.Heartbeat {
+		return false, sleepCtx(ctx, d)
+	}
+	for d > 0 {
+		chunk := w.cfg.Heartbeat
+		if chunk > d {
+			chunk = d
+		}
+		if err := sleepCtx(ctx, chunk); err != nil {
+			return false, err
+		}
+		d -= chunk
+		if d <= 0 {
+			break
+		}
+		ack, err := w.c.Heartbeat(w.cfg.ID, a.Replica)
+		if err != nil {
+			return false, err
+		}
+		if ack != AckOK {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// sleepCtx sleeps d or until ctx is done (returning its error).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
