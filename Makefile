@@ -4,7 +4,8 @@
 #   make test    run the full test suite
 #   make race    run the full suite under the race detector
 #   make vet     static checks
-#   make bench   dispatch-decision micro-benchmarks
+#   make bench   dispatch-decision + DES event-loop micro-benchmarks,
+#                recorded to BENCH_sched.json
 #   make check   everything the CI gate runs
 
 GO ?= go
@@ -26,7 +27,12 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -bench BenchmarkDispatchDecision -benchmem -run '^$$' ./internal/core/
+	@{ $(GO) test -bench BenchmarkDispatchDecision -benchmem -run '^$$' ./internal/core/ && \
+	   $(GO) test -bench 'BenchmarkEventLoop|BenchmarkScheduleCancel' -benchmem -run '^$$' ./internal/des/ ; } \
+	 | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_sched.json
+	@rm -f bench.out
+	@echo "wrote BENCH_sched.json"
 
 check: build vet test race
 

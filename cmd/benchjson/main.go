@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// stable JSON document on stdout, so benchmark results can be checked in and
+// diffed across commits (see `make bench`, which writes BENCH_sched.json).
+//
+// Only the standard columns are parsed: iterations, ns/op and — with
+// -benchmem — B/op and allocs/op. Environment header lines (goos, goarch,
+// cpu, pkg) are carried through verbatim; anything else is ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the GOMAXPROCS suffix intact,
+	// e.g. "BenchmarkDispatchDecision/manybags/LongIdle-8".
+	Name string `json:"name"`
+	// Pkg is the import path from the most recent "pkg:" header.
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp mirror the benchmark columns;
+	// the memory fields are -1 when -benchmem was not in effect.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the full document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkFoo/sub-8   123456   9.87 ns/op   0 B/op   0 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(f); i += 2 {
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp, _ = strconv.ParseFloat(f[i], 64)
+		case "B/op":
+			b.BytesPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+		}
+	}
+	return b, true
+}

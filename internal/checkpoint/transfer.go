@@ -12,8 +12,9 @@ import (
 type Transfer struct {
 	srv       *Server
 	duration  float64
-	done      func()
-	ev        *des.Event
+	done      func(arg any)
+	arg       any
+	ev        des.EventRef
 	started   bool
 	cancelled bool
 	finished  bool
@@ -27,15 +28,19 @@ func (t *Transfer) Pending() bool { return t != nil && !t.cancelled && !t.finish
 func (t *Transfer) Started() bool { return t != nil && t.started }
 
 // StartTransfer requests a transfer of the given duration on the server,
-// invoking done when it completes. With Capacity == 0 (the paper's
+// invoking done(arg) when it completes. With Capacity == 0 (the paper's
 // no-contention idealization) the transfer begins immediately; otherwise
 // at most Capacity transfers run concurrently and excess requests wait in
 // FIFO order. The returned handle cancels the transfer if needed.
-func (s *Server) StartTransfer(e *des.Engine, duration float64, done func()) *Transfer {
+//
+// The (done, arg) pair instead of a closure keeps the hot path
+// allocation-light: callers pass a long-lived bound method plus a pointer
+// argument, so only the Transfer itself is allocated.
+func (s *Server) StartTransfer(e *des.Engine, duration float64, done func(arg any), arg any) *Transfer {
 	if duration < 0 {
 		panic(fmt.Sprintf("checkpoint: negative transfer duration %v", duration))
 	}
-	t := &Transfer{srv: s, duration: duration, done: done}
+	t := &Transfer{srv: s, duration: duration, done: done, arg: arg}
 	if s.cfg.Capacity <= 0 || s.active < s.cfg.Capacity {
 		t.begin(e)
 	} else {
@@ -45,15 +50,20 @@ func (s *Server) StartTransfer(e *des.Engine, duration float64, done func()) *Tr
 	return t
 }
 
+// transferComplete is the shared event callback for every transfer, so
+// scheduling one costs no closure allocation.
+func transferComplete(e *des.Engine, arg any) {
+	t := arg.(*Transfer)
+	t.finished = true
+	t.srv.active--
+	t.srv.drain(e)
+	t.done(t.arg)
+}
+
 func (t *Transfer) begin(e *des.Engine) {
 	t.started = true
 	t.srv.active++
-	t.ev = e.Schedule(t.duration, func(e *des.Engine) {
-		t.finished = true
-		t.srv.active--
-		t.srv.drain(e)
-		t.done()
-	})
+	t.ev = e.ScheduleFunc(t.duration, transferComplete, t)
 }
 
 // Cancel aborts a queued or running transfer; done is never invoked.

@@ -16,7 +16,7 @@ func TestUnlimitedCapacityRunsConcurrently(t *testing.T) {
 	e := des.New()
 	var doneAt []float64
 	for i := 0; i < 3; i++ {
-		s.StartTransfer(e, 100, func() { doneAt = append(doneAt, e.Now()) })
+		s.StartTransfer(e, 100, func(any) { doneAt = append(doneAt, e.Now()) }, nil)
 	}
 	if s.Active() != 3 {
 		t.Fatalf("active = %d, want 3", s.Active())
@@ -34,7 +34,7 @@ func TestCapacitySerializesTransfers(t *testing.T) {
 	e := des.New()
 	var doneAt []float64
 	for i := 0; i < 3; i++ {
-		s.StartTransfer(e, 100, func() { doneAt = append(doneAt, e.Now()) })
+		s.StartTransfer(e, 100, func(any) { doneAt = append(doneAt, e.Now()) }, nil)
 	}
 	if s.Active() != 1 || s.Queued() != 2 {
 		t.Fatalf("active/queued = %d/%d, want 1/2", s.Active(), s.Queued())
@@ -56,7 +56,7 @@ func TestCapacityTwoPipelines(t *testing.T) {
 	e := des.New()
 	var doneAt []float64
 	for i := 0; i < 4; i++ {
-		s.StartTransfer(e, 100, func() { doneAt = append(doneAt, e.Now()) })
+		s.StartTransfer(e, 100, func(any) { doneAt = append(doneAt, e.Now()) }, nil)
 	}
 	e.Run()
 	want := []float64{100, 100, 200, 200}
@@ -71,9 +71,9 @@ func TestCancelQueuedTransfer(t *testing.T) {
 	s := capServer(1)
 	e := des.New()
 	ran := []int{}
-	t0 := s.StartTransfer(e, 100, func() { ran = append(ran, 0) })
-	t1 := s.StartTransfer(e, 100, func() { ran = append(ran, 1) })
-	t2 := s.StartTransfer(e, 100, func() { ran = append(ran, 2) })
+	t0 := s.StartTransfer(e, 100, func(any) { ran = append(ran, 0) }, nil)
+	t1 := s.StartTransfer(e, 100, func(any) { ran = append(ran, 1) }, nil)
+	t2 := s.StartTransfer(e, 100, func(any) { ran = append(ran, 2) }, nil)
 	t1.Cancel(e) // queued, never started
 	e.Run()
 	if len(ran) != 2 || ran[0] != 0 || ran[1] != 2 {
@@ -90,8 +90,8 @@ func TestCancelRunningTransferPromotesQueue(t *testing.T) {
 	s := capServer(1)
 	e := des.New()
 	var doneAt []float64
-	t0 := s.StartTransfer(e, 100, func() { doneAt = append(doneAt, e.Now()) })
-	s.StartTransfer(e, 100, func() { doneAt = append(doneAt, e.Now()) })
+	t0 := s.StartTransfer(e, 100, func(any) { doneAt = append(doneAt, e.Now()) }, nil)
+	s.StartTransfer(e, 100, func(any) { doneAt = append(doneAt, e.Now()) }, nil)
 	e.Schedule(50, func(*des.Engine) { t0.Cancel(e) })
 	e.Run()
 	// The queued transfer starts at 50 (when the slot frees) and ends 150.
@@ -104,7 +104,7 @@ func TestCancelIdempotent(t *testing.T) {
 	s := capServer(1)
 	e := des.New()
 	done := false
-	tr := s.StartTransfer(e, 10, func() { done = true })
+	tr := s.StartTransfer(e, 10, func(any) { done = true }, nil)
 	tr.Cancel(e)
 	tr.Cancel(e) // no-op
 	e.Run()
@@ -116,7 +116,7 @@ func TestCancelIdempotent(t *testing.T) {
 	}
 	// Cancel after finish is a no-op too.
 	done2 := false
-	tr2 := s.StartTransfer(e, 10, func() { done2 = true })
+	tr2 := s.StartTransfer(e, 10, func(any) { done2 = true }, nil)
 	e.Run()
 	tr2.Cancel(e)
 	if !done2 {
@@ -135,5 +135,5 @@ func TestNegativeDurationPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	capServer(1).StartTransfer(des.New(), -1, func() {})
+	capServer(1).StartTransfer(des.New(), -1, func(any) {}, nil)
 }

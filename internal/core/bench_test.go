@@ -26,14 +26,57 @@ func benchScheduler(k PolicyKind) *Scheduler {
 	return s
 }
 
+// benchSchedulerManyBags builds the adversarial large-grid state: 512
+// active bags of 8 tasks on an 8192-slot grid with all but a handful of
+// slots busy, so nearly every bag sits at the replication threshold and a
+// linear policy must scan deep to find the rare schedulable bag.
+func benchSchedulerManyBags(k PolicyKind) *Scheduler {
+	const (
+		bags     = 512
+		tasks    = 8
+		machines = bags * tasks * 2 // threshold-2 full replication
+		spare    = 3 * tasks        // leave one bag's worth of headroom
+	)
+	g := liveGrid(machines)
+	s := NewLiveScheduler(&fakeClock{}, g, NewPolicy(k, rng.Root(1, "policy")),
+		DefaultSchedConfig(), nil)
+	works := make([]float64, tasks)
+	for i := range works {
+		works[i] = 100
+	}
+	for i := 0; i < bags; i++ {
+		s.Submit(1000, works)
+	}
+	for i := 0; i < machines-spare; i++ {
+		join(s, g.Machines[i], 0)
+	}
+	return s
+}
+
 // BenchmarkDispatchDecision measures each bag-selection policy's
 // per-free-machine decision cost — the hot path of the simulation dispatch
-// loop and of every fetch served by the live work-dispatch service.
+// loop and of every fetch served by the live work-dispatch service. The
+// "manybags" cases are the large-grid stress the schedulability index
+// targets: a near-saturated 512-bag queue.
 func BenchmarkDispatchDecision(b *testing.B) {
 	for _, k := range Kinds {
 		b.Run(k.String(), func(b *testing.B) {
 			s := benchScheduler(k)
 			thr := s.effectiveThreshold()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.policy.SelectBag(s, thr) == nil {
+					b.Fatal("no schedulable bag")
+				}
+			}
+		})
+	}
+	for _, k := range Kinds {
+		b.Run("manybags/"+k.String(), func(b *testing.B) {
+			s := benchSchedulerManyBags(k)
+			thr := s.effectiveThreshold()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if s.policy.SelectBag(s, thr) == nil {

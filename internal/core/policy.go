@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"botgrid/internal/rng"
 )
@@ -95,36 +96,99 @@ func ParsePolicy(name string) (PolicyKind, error) {
 }
 
 // NewPolicy instantiates a policy. The stream is consumed only by Random;
-// it may be nil for the deterministic policies.
+// it may be nil for the deterministic policies. Policy instances are
+// stateful (selection indexes, cursors, RNG streams) and must serve at most
+// one Scheduler.
 func NewPolicy(k PolicyKind, str *rng.Stream) Policy {
 	switch k {
 	case FCFSExcl:
 		return fcfsExcl{}
 	case FCFSShare:
-		return fcfsShare{}
+		return &fcfsShare{}
 	case RR:
 		return &roundRobin{lastID: -1}
 	case RRNRF:
 		return &roundRobin{noReplicaFirst: true, lastID: -1}
 	case LongIdle:
-		return longIdle{}
+		return &longIdle{}
 	case Random:
 		if str == nil {
 			panic("core: Random policy needs a stream")
 		}
 		return &randomPolicy{str: str}
 	case FairShare:
-		return fairShare{}
+		return &fairShare{}
 	case SJFKB:
-		return sjfKB{}
+		return &sjfKB{}
 	default:
 		panic(fmt.Sprintf("core: unknown policy kind %d", int(k)))
 	}
 }
 
+// dualIndex is the shared core of the indexed heap policies: two lazy
+// bag-heaps covering the two thresholds the dispatch loop can present —
+// pend holds bags with a pending task (schedulable under any threshold,
+// including the dynamic-replication threshold 1) and repl holds bags whose
+// least-replicated running task sits below the configured base threshold.
+// Their union is exactly the schedulable set under the base threshold.
+type dualIndex struct {
+	s    *Scheduler
+	base int
+	pend bagHeap
+	repl bagHeap
+}
+
+func (d *dualIndex) attachTo(s *Scheduler) {
+	d.s = s
+	d.base = s.cfg.Threshold
+	d.pend.reset()
+	d.repl.reset()
+}
+
+// publish re-indexes b under the given selection keys; called from
+// bagChanged after b's stamp was bumped.
+func (d *dualIndex) publish(b *Bag, key float64, tie int) {
+	if b.HasPending() {
+		d.pend.push(b, key, tie)
+	}
+	if b.minRunReplicas() < d.base {
+		d.repl.push(b, key, tie)
+	}
+}
+
+// selectMin returns the minimum-keyed schedulable bag under thr. ok is
+// false when the index does not cover (s, thr) and the caller must fall
+// back to a linear scan.
+func (d *dualIndex) selectMin(s *Scheduler, thr int) (*Bag, bool) {
+	if d.s != s || (thr != 1 && thr != d.base) {
+		return nil, false
+	}
+	pe, pok := d.pend.peek()
+	if thr == 1 {
+		if pok {
+			return pe.b, true
+		}
+		return nil, true
+	}
+	re, rok := d.repl.peek()
+	switch {
+	case !pok && !rok:
+		return nil, true
+	case !rok:
+		return pe.b, true
+	case !pok:
+		return re.b, true
+	}
+	if pe.key < re.key || (pe.key == re.key && pe.tie <= re.tie) {
+		return pe.b, true
+	}
+	return re.b, true
+}
+
 // fcfsExcl dedicates the grid to the oldest incomplete bag. Its unlimited
 // replication threshold makes that bag schedulable until completion, so no
-// machine is ever yielded to a younger bag.
+// machine is ever yielded to a younger bag. The oldest bag is s.bags[0], so
+// the policy needs no index.
 type fcfsExcl struct{}
 
 func (fcfsExcl) Name() string { return FCFSExcl.String() }
@@ -149,27 +213,50 @@ func (fcfsExcl) SelectBag(s *Scheduler, threshold int) *Bag {
 // serves pending tasks before replicating, and failed-task resubmissions
 // sit at the front of their bag's queue, so an older bag's restart replica
 // automatically precedes younger bags' work.
-type fcfsShare struct{}
+//
+// Selection is the minimum bag ID over the schedulability index.
+type fcfsShare struct {
+	idx dualIndex
+}
 
-func (fcfsShare) Name() string { return FCFSShare.String() }
+func (*fcfsShare) Name() string { return FCFSShare.String() }
 
-func (fcfsShare) Threshold(base int) int { return base }
+func (*fcfsShare) Threshold(base int) int { return base }
 
-func (fcfsShare) SelectBag(s *Scheduler, threshold int) *Bag {
+func (p *fcfsShare) attach(s *Scheduler) {
+	p.idx.attachTo(s)
 	for _, b := range s.bags {
-		if b.Schedulable(threshold) {
-			return b
-		}
+		p.bagChanged(b)
 	}
-	return nil
+}
+
+func (p *fcfsShare) bagChanged(b *Bag) { p.idx.publish(b, float64(b.ID), 0) }
+
+func (p *fcfsShare) taskQueued(*Task) {}
+
+func (p *fcfsShare) SelectBag(s *Scheduler, threshold int) *Bag {
+	if b, ok := p.idx.selectMin(s, threshold); ok {
+		return b
+	}
+	return scanInOrder(s, threshold)
 }
 
 // roundRobin inspects bag queues in fixed circular order; with
 // noReplicaFirst it first serves bags that have no running task instance,
 // suspending the circular order as the paper's RR-NRF prescribes.
+//
+// The circular cursor resumes after the most recently served bag ID: the
+// resume position is found by binary search over the ID-ordered bag list
+// and candidate bags are probed with the O(1) schedulability state, so a
+// selection costs O(log n) plus one probe per skipped saturated bag.
+// RR-NRF's starved set (active bags with no running replica — always
+// schedulable) is a lazy min-ID heap.
 type roundRobin struct {
 	noReplicaFirst bool
 	lastID         int // bag ID served most recently
+
+	s       *Scheduler
+	starved bagHeap
 }
 
 func (p *roundRobin) Name() string {
@@ -181,6 +268,22 @@ func (p *roundRobin) Name() string {
 
 func (p *roundRobin) Threshold(base int) int { return base }
 
+func (p *roundRobin) attach(s *Scheduler) {
+	p.s = s
+	p.starved.reset()
+	for _, b := range s.bags {
+		p.bagChanged(b)
+	}
+}
+
+func (p *roundRobin) bagChanged(b *Bag) {
+	if p.noReplicaFirst && b.running == 0 && !b.Complete() {
+		p.starved.push(b, float64(b.ID), 0)
+	}
+}
+
+func (p *roundRobin) taskQueued(*Task) {}
+
 func (p *roundRobin) SelectBag(s *Scheduler, threshold int) *Bag {
 	n := len(s.bags)
 	if n == 0 {
@@ -188,24 +291,23 @@ func (p *roundRobin) SelectBag(s *Scheduler, threshold int) *Bag {
 	}
 	if p.noReplicaFirst {
 		// Serve starved bags (no running instance) first, oldest first.
-		for _, b := range s.bags {
-			if b.running == 0 && b.Schedulable(threshold) {
-				return b
+		if p.s == s {
+			if e, ok := p.starved.peek(); ok && e.b.Schedulable(threshold) {
+				return e.b
+			}
+		} else {
+			for _, b := range s.bags {
+				if b.running == 0 && b.Schedulable(threshold) {
+					return b
+				}
 			}
 		}
 	}
-	// Resume the circular order after the most recently served bag.
-	// Bags are kept in arrival (ID) order, so scan for the first
-	// schedulable bag with ID > lastID, wrapping around.
-	start := 0
-	for i, b := range s.bags {
-		if b.ID > p.lastID {
-			start = i
-			break
-		}
-		if i == n-1 {
-			start = 0 // every bag has ID <= lastID: wrap
-		}
+	// Resume the circular order after the most recently served bag. Bags
+	// are kept in arrival (ID) order.
+	start := sort.Search(n, func(i int) bool { return s.bags[i].ID > p.lastID })
+	if start == n {
+		start = 0 // every bag has ID <= lastID: wrap
 	}
 	for i := 0; i < n; i++ {
 		b := s.bags[(start+i)%n]
@@ -220,39 +322,74 @@ func (p *roundRobin) SelectBag(s *Scheduler, threshold int) *Bag {
 // longIdle picks the bag whose pending task has waited replica-less the
 // longest; when no pending task exists anywhere it falls back to
 // FCFS-Share's replication order.
-type longIdle struct{}
+//
+// The primary choice is the top of a global lazy max-heap over pending
+// tasks keyed (frozen idle key desc, bag ID asc, task ID asc) — idle-time
+// differences between pending tasks are time-invariant, so the frozen keys
+// rank tasks by live IdleTime at any instant. The fallback is a lazy
+// min-ID heap over bags with a replicable running task.
+type longIdle struct {
+	s    *Scheduler
+	base int
+	idle idleIdx
+	repl bagHeap
+}
 
-func (longIdle) Name() string { return LongIdle.String() }
+func (*longIdle) Name() string { return LongIdle.String() }
 
-func (longIdle) Threshold(base int) int { return base }
+func (*longIdle) Threshold(base int) int { return base }
 
-func (longIdle) SelectBag(s *Scheduler, threshold int) *Bag {
-	bestKey := math.Inf(-1)
-	var best *Bag
+func (p *longIdle) attach(s *Scheduler) {
+	p.s = s
+	p.base = s.cfg.Threshold
+	p.idle.reset()
+	p.repl.reset()
 	for _, b := range s.bags {
-		key, t := b.maxIdle()
-		if t == nil {
-			continue
+		p.bagChanged(b)
+		for _, t := range b.Tasks {
+			if t.State == TaskPending {
+				p.idle.push(t)
+			}
 		}
+	}
+}
+
+func (p *longIdle) bagChanged(b *Bag) {
+	if b.minRunReplicas() < p.base {
+		p.repl.push(b, float64(b.ID), 0)
+	}
+}
+
+func (p *longIdle) taskQueued(t *Task) { p.idle.push(t) }
+
+func (p *longIdle) SelectBag(s *Scheduler, threshold int) *Bag {
+	if p.s != s {
+		return longIdleScan(s, threshold)
+	}
+	if t := p.idle.peek(); t != nil {
 		// Ties go to the older bag (lower ID), matching the paper's
 		// observation that LongIdle behaves like FCFS-Share while the
 		// oldest bag still has replica-less tasks.
-		if best == nil || key > bestKey {
-			bestKey, best = key, b
+		return t.Bag
+	}
+	// No pending task anywhere: replicate in FCFS order.
+	switch {
+	case threshold == p.base:
+		if e, ok := p.repl.peek(); ok {
+			return e.b
 		}
+		return nil
+	case threshold <= 1:
+		return nil // every running task already has >= 1 replica
+	default:
+		return scanReplicable(s, threshold)
 	}
-	if best != nil {
-		return best
-	}
-	for _, b := range s.bags {
-		if b.replicable(threshold) != nil {
-			return b
-		}
-	}
-	return nil
 }
 
-// randomPolicy picks uniformly among schedulable bags.
+// randomPolicy picks uniformly among schedulable bags. It keeps the linear
+// scan: collecting the full schedulable set is what defines its RNG stream
+// consumption, and the O(1) schedulability probes already make the scan
+// cheap.
 type randomPolicy struct {
 	str     *rng.Stream
 	scratch []*Bag
@@ -275,14 +412,32 @@ func (p *randomPolicy) SelectBag(s *Scheduler, threshold int) *Bag {
 	return p.scratch[p.str.IntN(len(p.scratch))]
 }
 
-// fairShare picks the schedulable bag with the fewest running replicas.
-type fairShare struct{}
+// fairShare picks the schedulable bag with the fewest running replicas
+// (ties to the older bag): the minimum of the schedulability index under
+// key (running replicas, bag ID).
+type fairShare struct {
+	idx dualIndex
+}
 
-func (fairShare) Name() string { return FairShare.String() }
+func (*fairShare) Name() string { return FairShare.String() }
 
-func (fairShare) Threshold(base int) int { return base }
+func (*fairShare) Threshold(base int) int { return base }
 
-func (fairShare) SelectBag(s *Scheduler, threshold int) *Bag {
+func (p *fairShare) attach(s *Scheduler) {
+	p.idx.attachTo(s)
+	for _, b := range s.bags {
+		p.bagChanged(b)
+	}
+}
+
+func (p *fairShare) bagChanged(b *Bag) { p.idx.publish(b, float64(b.running), b.ID) }
+
+func (p *fairShare) taskQueued(*Task) {}
+
+func (p *fairShare) SelectBag(s *Scheduler, threshold int) *Bag {
+	if b, ok := p.idx.selectMin(s, threshold); ok {
+		return b
+	}
 	var best *Bag
 	for _, b := range s.bags {
 		if !b.Schedulable(threshold) {
@@ -295,16 +450,33 @@ func (fairShare) SelectBag(s *Scheduler, threshold int) *Bag {
 	return best
 }
 
-// sjfKB picks the schedulable bag with the least remaining work. It is
-// knowledge-based: remaining work is exactly what a knowledge-free scheduler
-// cannot know.
-type sjfKB struct{}
+// sjfKB picks the schedulable bag with the least remaining work (ties to
+// the older bag): the minimum of the schedulability index under key
+// (remaining work, bag ID). It is knowledge-based: remaining work is
+// exactly what a knowledge-free scheduler cannot know.
+type sjfKB struct {
+	idx dualIndex
+}
 
-func (sjfKB) Name() string { return SJFKB.String() }
+func (*sjfKB) Name() string { return SJFKB.String() }
 
-func (sjfKB) Threshold(base int) int { return base }
+func (*sjfKB) Threshold(base int) int { return base }
 
-func (sjfKB) SelectBag(s *Scheduler, threshold int) *Bag {
+func (p *sjfKB) attach(s *Scheduler) {
+	p.idx.attachTo(s)
+	for _, b := range s.bags {
+		p.bagChanged(b)
+	}
+}
+
+func (p *sjfKB) bagChanged(b *Bag) { p.idx.publish(b, b.RemainingWork(), b.ID) }
+
+func (p *sjfKB) taskQueued(*Task) {}
+
+func (p *sjfKB) SelectBag(s *Scheduler, threshold int) *Bag {
+	if b, ok := p.idx.selectMin(s, threshold); ok {
+		return b
+	}
 	var best *Bag
 	for _, b := range s.bags {
 		if !b.Schedulable(threshold) {
@@ -316,3 +488,50 @@ func (sjfKB) SelectBag(s *Scheduler, threshold int) *Bag {
 	}
 	return best
 }
+
+// scanInOrder is the linear FCFS-Share selection, kept as the fallback for
+// unindexed (s, threshold) combinations.
+func scanInOrder(s *Scheduler, threshold int) *Bag {
+	for _, b := range s.bags {
+		if b.Schedulable(threshold) {
+			return b
+		}
+	}
+	return nil
+}
+
+// scanReplicable returns the oldest bag with a replicable running task.
+func scanReplicable(s *Scheduler, threshold int) *Bag {
+	for _, b := range s.bags {
+		if b.replicable(threshold) != nil {
+			return b
+		}
+	}
+	return nil
+}
+
+// longIdleScan is the linear LongIdle selection, kept as the fallback for
+// a policy instance serving a foreign scheduler.
+func longIdleScan(s *Scheduler, threshold int) *Bag {
+	var best *Bag
+	bestKey := 0.0
+	for _, b := range s.bags {
+		for _, t := range b.Tasks {
+			if t.State == TaskPending && (best == nil || t.heapKey > bestKey) {
+				best, bestKey = b, t.heapKey
+			}
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return scanReplicable(s, threshold)
+}
+
+var (
+	_ indexedPolicy = (*fcfsShare)(nil)
+	_ indexedPolicy = (*roundRobin)(nil)
+	_ indexedPolicy = (*longIdle)(nil)
+	_ indexedPolicy = (*fairShare)(nil)
+	_ indexedPolicy = (*sjfKB)(nil)
+)

@@ -47,7 +47,7 @@ type Replica struct {
 	// segStart is when the current compute segment began (valid in
 	// PhaseComputing); it realizes partial progress on suspension.
 	segStart float64
-	ev       *des.Event
+	ev       des.EventRef
 	xfer     *checkpoint.Transfer
 }
 
@@ -185,8 +185,18 @@ type Scheduler struct {
 	grid   *grid.Grid
 	ckpt   *checkpoint.Server // nil in live mode
 	policy Policy
+	idx    indexedPolicy // policy's index hooks, nil for unindexed policies
 	cfg    SchedConfig
 	obs    Observer
+
+	// Pre-bound event and transfer callbacks (simulation mode). Binding
+	// the method values once lets the hot path schedule replica events
+	// through des.ScheduleFunc with a *Replica argument instead of
+	// allocating a fresh closure per event.
+	segDoneFn      func(*des.Engine, any)
+	ckptDueFn      func(*des.Engine, any)
+	retrieveDoneFn func(any)
+	saveDoneFn     func(any)
 
 	// OnBagDone, when non-nil, fires after a bag completes (after the
 	// Observer callback). The runner uses it to stop the simulation.
@@ -232,11 +242,16 @@ func NewScheduler(eng *des.Engine, g *grid.Grid, ck *checkpoint.Server, p Policy
 		ckptInterval: ck.Interval(g.Config.MTBF()),
 		mstate:       make([]machState, len(g.Machines)),
 	}
+	s.segDoneFn = s.onSegmentDone
+	s.ckptDueFn = s.onCheckpointDue
+	s.retrieveDoneFn = s.onRetrieveDone
+	s.saveDoneFn = s.onSaveDone
 	for _, m := range g.Machines {
 		if m.Up() {
 			s.pushFree(m)
 		}
 	}
+	s.attachPolicy(p)
 	return s
 }
 
@@ -269,7 +284,37 @@ func NewLiveScheduler(clock Clock, g *grid.Grid, p Policy, cfg SchedConfig, obs 
 			s.pushFree(m)
 		}
 	}
+	s.attachPolicy(p)
 	return s
+}
+
+// attachPolicy wires the policy's schedulability index, when it has one.
+func (s *Scheduler) attachPolicy(p Policy) {
+	if ip, ok := p.(indexedPolicy); ok {
+		s.idx = ip
+		ip.attach(s)
+	}
+}
+
+// noteBag publishes that b's schedulability inputs changed: its stamp is
+// bumped (invalidating every index entry) and the policy re-indexes it.
+// Every mutation of a bag's pending count, replica counts, running total or
+// remaining work — and its removal — must be followed by a noteBag before
+// the next SelectBag.
+func (s *Scheduler) noteBag(b *Bag) {
+	b.stamp++
+	if s.idx != nil {
+		s.idx.bagChanged(b)
+	}
+}
+
+// noteQueued publishes that t entered its bag's pending queue. It must run
+// after enqueuePending (which freezes t's idle key and bumps its epoch) and
+// is always followed by a noteBag for the owning bag.
+func (s *Scheduler) noteQueued(t *Task) {
+	if s.idx != nil {
+		s.idx.taskQueued(t)
+	}
 }
 
 // Bags returns the active bags in arrival order. The slice is owned by the
@@ -334,6 +379,10 @@ func (s *Scheduler) Submit(granularity float64, works []float64) *Bag {
 	s.submitted++
 	s.bags = append(s.bags, b)
 	s.pendingTotal += len(works)
+	for _, t := range b.Tasks {
+		s.noteQueued(t)
+	}
+	s.noteBag(b)
 	s.obs.BagSubmitted(s.clock.Now(), b)
 	s.dispatch()
 	return b
@@ -374,6 +423,7 @@ func (s *Scheduler) dispatch() {
 			return
 		}
 		s.startReplica(t, m, restart)
+		s.noteBag(b)
 	}
 }
 
@@ -441,6 +491,7 @@ func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
 	}
 	r := &Replica{Task: t, Machine: m, Started: now, done: t.Checkpointed}
 	t.Replicas = append(t.Replicas, r)
+	b.replicaCountChanged(t)
 	b.running++
 	s.totalRunning++
 	s.replicasStarted++
@@ -454,10 +505,7 @@ func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
 	}
 	if t.Checkpointed > 0 && s.ckpt.Enabled() {
 		r.Phase = PhaseRetrieving
-		r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.RetrieveTime(), func() {
-			r.xfer = nil
-			s.beginSegment(r)
-		})
+		r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.RetrieveTime(), s.retrieveDoneFn, r)
 		return
 	}
 	s.beginSegment(r)
@@ -470,29 +518,48 @@ func (s *Scheduler) beginSegment(r *Replica) {
 	r.segStart = s.clock.Now()
 	remainWall := (r.Task.Work - r.done) / r.Machine.Power
 	if remainWall <= s.ckptInterval {
-		r.ev = s.eng.Schedule(remainWall, func(*des.Engine) {
-			r.done = r.Task.Work
-			s.completeTask(r)
-		})
+		r.ev = s.eng.ScheduleFunc(remainWall, s.segDoneFn, r)
 		return
 	}
-	r.ev = s.eng.Schedule(s.ckptInterval, func(*des.Engine) {
-		r.done += s.ckptInterval * r.Machine.Power
-		s.startSave(r)
-	})
+	r.ev = s.eng.ScheduleFunc(s.ckptInterval, s.ckptDueFn, r)
+}
+
+// onSegmentDone fires when a replica's final compute segment ends.
+func (s *Scheduler) onSegmentDone(_ *des.Engine, arg any) {
+	r := arg.(*Replica)
+	r.done = r.Task.Work
+	s.completeTask(r)
+}
+
+// onCheckpointDue fires when a replica reaches its Young interval.
+func (s *Scheduler) onCheckpointDue(_ *des.Engine, arg any) {
+	r := arg.(*Replica)
+	r.done += s.ckptInterval * r.Machine.Power
+	s.startSave(r)
+}
+
+// onRetrieveDone fires when a replica's checkpoint retrieval completes.
+func (s *Scheduler) onRetrieveDone(arg any) {
+	r := arg.(*Replica)
+	r.xfer = nil
+	s.beginSegment(r)
+}
+
+// onSaveDone fires when a replica's checkpoint save completes.
+func (s *Scheduler) onSaveDone(arg any) {
+	r := arg.(*Replica)
+	r.xfer = nil
+	if r.done > r.Task.Checkpointed {
+		r.Task.Checkpointed = r.done
+	}
+	s.obs.CheckpointSaved(s.clock.Now(), r.Task, r.done)
+	s.beginSegment(r)
 }
 
 // startSave begins a checkpoint save of the replica's current progress.
 func (s *Scheduler) startSave(r *Replica) {
 	r.Phase = PhaseSaving
-	r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.SaveTime(), func() {
-		r.xfer = nil
-		if r.done > r.Task.Checkpointed {
-			r.Task.Checkpointed = r.done
-		}
-		s.obs.CheckpointSaved(s.clock.Now(), r.Task, r.done)
-		s.beginSegment(r)
-	})
+	r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.SaveTime(), s.saveDoneFn, r)
 }
 
 // completeTask finishes t via winning replica r: every sibling replica is
@@ -524,6 +591,7 @@ func (s *Scheduler) completeTask(r *Replica) {
 	s.totalRunning -= k
 	s.tasksCompleted++
 	s.replicasKilled += killed
+	s.noteBag(b) // a complete bag re-indexes nowhere: entries just go stale
 	s.obs.TaskCompleted(now, t, killed)
 	if b.Complete() {
 		b.DoneAt = now
@@ -611,6 +679,7 @@ func (s *Scheduler) MachineFailed(m *grid.Machine) {
 	t := r.Task
 	b := t.Bag
 	removeReplica(t, r)
+	b.replicaCountChanged(t)
 	b.running--
 	s.totalRunning--
 	t.Failures++
@@ -621,7 +690,9 @@ func (s *Scheduler) MachineFailed(m *grid.Machine) {
 		t.Restart = true
 		b.enqueuePending(t, true)
 		s.pendingTotal++
+		s.noteQueued(t)
 	}
+	s.noteBag(b)
 	// A newly-pending task may be servable by machines that were idle
 	// for lack of schedulable work.
 	s.dispatch()
@@ -661,10 +732,7 @@ func (s *Scheduler) resumeReplica(r *Replica) {
 	r.Suspended = false
 	switch r.Phase {
 	case PhaseRetrieving:
-		r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.RetrieveTime(), func() {
-			r.xfer = nil
-			s.beginSegment(r)
-		})
+		r.xfer = s.ckpt.StartTransfer(s.eng, s.ckpt.RetrieveTime(), s.retrieveDoneFn, r)
 	case PhaseSaving:
 		s.startSave(r)
 	default:
@@ -701,26 +769,42 @@ func (s *Scheduler) CheckInvariants() {
 	pending := 0
 	for _, b := range s.bags {
 		br := 0
+		runTasks := 0
 		for _, t := range b.Tasks {
 			switch t.State {
 			case TaskRunning:
 				if len(t.Replicas) == 0 {
 					panic("core: running task with no replicas")
 				}
+				if t.runIdx < 0 || t.runIdx >= b.runHeap.len() || b.runHeap.ts[t.runIdx] != t {
+					panic(fmt.Sprintf("core: task %d/%d has bad run-heap index %d",
+						b.ID, t.ID, t.runIdx))
+				}
 				br += len(t.Replicas)
+				runTasks++
 			case TaskPending:
 				if len(t.Replicas) != 0 {
 					panic("core: pending task with replicas")
+				}
+				if t.runIdx != -1 {
+					panic("core: pending task indexed in run heap")
 				}
 				pending++
 			case TaskDone:
 				if len(t.Replicas) != 0 {
 					panic("core: done task with replicas")
 				}
+				if t.runIdx != -1 {
+					panic("core: done task indexed in run heap")
+				}
 			}
 		}
 		if br != b.running {
 			panic(fmt.Sprintf("core: bag %d running count %d != %d", b.ID, b.running, br))
+		}
+		if runTasks != b.runHeap.len() {
+			panic(fmt.Sprintf("core: bag %d run heap holds %d tasks, state says %d",
+				b.ID, b.runHeap.len(), runTasks))
 		}
 		if b.PendingCount() != pendingInBag(b) {
 			panic(fmt.Sprintf("core: bag %d pending queue %d != state count %d",
@@ -756,7 +840,6 @@ func (s *Scheduler) CheckInvariants() {
 	if busy != s.totalRunning {
 		panic(fmt.Sprintf("core: busy machines %d != running replicas %d", busy, s.totalRunning))
 	}
-	_ = math.MaxInt
 }
 
 func pendingInBag(b *Bag) int {

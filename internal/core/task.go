@@ -72,11 +72,14 @@ type Task struct {
 	// idleSince is when the current idle stretch began (valid while
 	// State == TaskPending).
 	idleSince float64
-	// pendingEpoch invalidates stale idle-heap entries (lazy deletion).
+	// pendingEpoch invalidates stale idle-index entries (lazy deletion).
 	pendingEpoch uint32
 	// heapKey is the frozen LongIdle ordering key for the current
 	// pending stretch; see idleKey.
 	heapKey float64
+	// runIdx is the task's position in its bag's running-task heap,
+	// -1 while not running.
+	runIdx int
 }
 
 // IdleTime returns the task's total replica-less waiting time as of now —
@@ -114,12 +117,17 @@ type Bag struct {
 	DoneAt float64
 
 	pending   pendingQueue
-	idleHeap  idleHeap
-	runningTs []*Task // tasks in state TaskRunning, unordered
+	runHeap   runHeap // running tasks keyed by (replica count, task ID)
 	doneTasks int
 	running   int     // running replicas across all tasks
 	doneWork  float64 // reference-seconds of completed tasks
 	totalWork float64
+
+	// stamp is the bag's schedulability-state version: the scheduler
+	// bumps it whenever any input of the schedulability index changes
+	// (pending count, replica counts, running total, remaining work,
+	// removal). Policy index entries snapshot it for lazy invalidation.
+	stamp uint64
 }
 
 // newBag wraps task works into a Bag with all tasks pending as of now.
@@ -140,6 +148,7 @@ func newBag(id int, arrival, granularity float64, works []float64) *Bag {
 			FirstStart: -1,
 			DoneAt:     -1,
 			idleSince:  arrival,
+			runIdx:     -1,
 		}
 		b.Tasks[i] = t
 		b.totalWork += w
@@ -160,7 +169,6 @@ func (b *Bag) enqueuePending(t *Task, front bool) {
 	} else {
 		b.pending.pushBack(t)
 	}
-	b.idleHeap.push(t)
 }
 
 // popPending removes and returns the next pending task (resubmissions
@@ -190,59 +198,61 @@ func (b *Bag) TotalWork() float64 { return b.totalWork }
 
 // replicable returns the running task with the fewest replicas, provided it
 // is below the threshold; nil otherwise. Ties break toward the lowest task
-// ID for determinism.
+// ID for determinism. O(1): the running-task heap keeps the answer on top.
 func (b *Bag) replicable(threshold int) *Task {
-	var best *Task
-	for _, t := range b.runningTs {
-		if len(t.Replicas) >= threshold {
-			continue
-		}
-		if best == nil || len(t.Replicas) < len(best.Replicas) ||
-			(len(t.Replicas) == len(best.Replicas) && t.ID < best.ID) {
-			best = t
-		}
+	if t := b.runHeap.top(); t != nil && len(t.Replicas) < threshold {
+		return t
 	}
-	return best
+	return nil
+}
+
+// minRunReplicas returns the smallest replica count among running tasks,
+// or MaxInt when the bag has none.
+func (b *Bag) minRunReplicas() int {
+	if t := b.runHeap.top(); t != nil {
+		return len(t.Replicas)
+	}
+	return math.MaxInt
+}
+
+// schedKey is the bag's schedulability key: the smallest replication
+// threshold that would NOT make the bag schedulable, minus the pending
+// fast path. A bag is schedulable under threshold thr iff schedKey < thr:
+// 0 when a pending task exists (always schedulable), the minimum replica
+// count among running tasks otherwise, MaxInt when complete.
+func (b *Bag) schedKey() int {
+	if b.pending.len() > 0 {
+		return 0
+	}
+	return b.minRunReplicas()
 }
 
 // Schedulable reports whether the bag can use one more machine under the
-// given replication threshold.
+// given replication threshold. O(1) via the incremental schedulability
+// state (pending queue length + running-task heap top).
 func (b *Bag) Schedulable(threshold int) bool {
-	if b.Complete() {
-		return false
-	}
-	return b.HasPending() || b.replicable(threshold) != nil
-}
-
-// maxIdle returns the largest LongIdle key among pending tasks, or
-// (-Inf, nil) when none. Stale heap entries are discarded lazily.
-func (b *Bag) maxIdle() (float64, *Task) {
-	for b.idleHeap.len() > 0 {
-		e := b.idleHeap.peek()
-		if e.task.State == TaskPending && e.epoch == e.task.pendingEpoch {
-			return e.task.heapKey, e.task
-		}
-		b.idleHeap.popTop()
-	}
-	return math.Inf(-1), nil
+	return b.schedKey() < threshold
 }
 
 // markRunning moves a pending task to the running set.
 func (b *Bag) markRunning(t *Task) {
 	t.State = TaskRunning
-	b.runningTs = append(b.runningTs, t)
+	b.runHeap.push(t)
 }
 
 // unmarkRunning removes t from the running set (after completion or after
 // losing its last replica).
 func (b *Bag) unmarkRunning(t *Task) {
-	for i, u := range b.runningTs {
-		if u == t {
-			last := len(b.runningTs) - 1
-			b.runningTs[i] = b.runningTs[last]
-			b.runningTs = b.runningTs[:last]
-			return
-		}
+	if t.runIdx >= 0 {
+		b.runHeap.remove(t)
+	}
+}
+
+// replicaCountChanged restores t's position in the running-task heap after
+// a replica was added or removed.
+func (b *Bag) replicaCountChanged(t *Task) {
+	if t.runIdx >= 0 {
+		b.runHeap.fix(t)
 	}
 }
 
@@ -295,67 +305,95 @@ func (q *pendingQueue) pop() *Task {
 	return t
 }
 
-// idleHeap is a max-heap of pending tasks ordered by the frozen LongIdle
-// key, with lazy deletion through pendingEpoch.
-type idleHeap struct {
-	entries []idleEntry
+// runHeap is an intrusive indexed min-heap of a bag's running tasks,
+// ordered by (replica count, task ID). The top answers both replicable()
+// and minRunReplicas() in O(1); replica-count changes restore the heap in
+// O(log n) via the position each task tracks in runIdx.
+type runHeap struct {
+	ts []*Task
 }
 
-type idleEntry struct {
-	task  *Task
-	epoch uint32
+func (h *runHeap) len() int { return len(h.ts) }
+
+// top returns the running task with the fewest replicas (lowest ID on
+// ties), or nil when empty.
+func (h *runHeap) top() *Task {
+	if len(h.ts) == 0 {
+		return nil
+	}
+	return h.ts[0]
 }
 
-func (h *idleHeap) len() int { return len(h.entries) }
+func (h *runHeap) less(i, j int) bool {
+	a, b := h.ts[i], h.ts[j]
+	if len(a.Replicas) != len(b.Replicas) {
+		return len(a.Replicas) < len(b.Replicas)
+	}
+	return a.ID < b.ID
+}
 
-func (h *idleHeap) peek() idleEntry { return h.entries[0] }
+func (h *runHeap) swap(i, j int) {
+	h.ts[i], h.ts[j] = h.ts[j], h.ts[i]
+	h.ts[i].runIdx = i
+	h.ts[j].runIdx = j
+}
 
-func (h *idleHeap) push(t *Task) {
-	h.entries = append(h.entries, idleEntry{task: t, epoch: t.pendingEpoch})
-	i := len(h.entries) - 1
+func (h *runHeap) push(t *Task) {
+	t.runIdx = len(h.ts)
+	h.ts = append(h.ts, t)
+	h.up(t.runIdx)
+}
+
+func (h *runHeap) remove(t *Task) {
+	i, n := t.runIdx, len(h.ts)-1
+	if i != n {
+		h.swap(i, n)
+	}
+	h.ts[n] = nil
+	h.ts = h.ts[:n]
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	t.runIdx = -1
+}
+
+// fix restores the heap property around t after its key changed.
+func (h *runHeap) fix(t *Task) {
+	if !h.down(t.runIdx) {
+		h.up(t.runIdx)
+	}
+}
+
+func (h *runHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !h.less(i, parent) {
 			break
 		}
-		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		h.swap(i, parent)
 		i = parent
 	}
 }
 
-// less orders entry i before j when it has the larger key (max-heap); ties
-// break toward the older bag then the lower task ID, matching LongIdle's
-// FCFS-Share degeneration.
-func (h *idleHeap) less(i, j int) bool {
-	a, b := h.entries[i].task, h.entries[j].task
-	if a.heapKey != b.heapKey {
-		return a.heapKey > b.heapKey
-	}
-	if a.Bag.ID != b.Bag.ID {
-		return a.Bag.ID < b.Bag.ID
-	}
-	return a.ID < b.ID
-}
-
-func (h *idleHeap) popTop() {
-	n := len(h.entries) - 1
-	h.entries[0] = h.entries[n]
-	h.entries[n] = idleEntry{}
-	h.entries = h.entries[:n]
-	i := 0
+func (h *runHeap) down(i int) bool {
+	start := i
+	n := len(h.ts)
 	for {
-		l := 2*i + 1
-		if l >= n {
+		left := 2*i + 1
+		if left >= n {
 			break
 		}
-		best := l
-		if r := l + 1; r < n && h.less(r, l) {
-			best = r
+		best := left
+		if right := left + 1; right < n && h.less(right, left) {
+			best = right
 		}
 		if !h.less(best, i) {
 			break
 		}
-		h.entries[i], h.entries[best] = h.entries[best], h.entries[i]
+		h.swap(i, best)
 		i = best
 	}
+	return i > start
 }

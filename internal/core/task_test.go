@@ -113,45 +113,112 @@ func TestQuickPendingQueueModel(t *testing.T) {
 	}
 }
 
-func TestIdleHeapOrdering(t *testing.T) {
+func TestIdleIdxOrdering(t *testing.T) {
 	b := &Bag{ID: 0}
-	var h idleHeap
+	var h idleIdx
 	r := rand.New(rand.NewSource(8))
-	var tasks []*Task
 	for i := 0; i < 100; i++ {
 		tk := &Task{ID: i, Bag: b, idleSince: r.Float64() * 1000}
 		tk.pendingEpoch = 1
 		tk.heapKey = tk.idleKey()
-		tasks = append(tasks, tk)
 		h.push(tk)
 	}
 	prev := 1e18
-	for h.len() > 0 {
-		e := h.peek()
-		h.popTop()
-		if e.task.heapKey > prev {
-			t.Fatal("heap not ordered by descending key")
+	seen := 0
+	for {
+		top := h.peek()
+		if top == nil {
+			break
 		}
-		prev = e.task.heapKey
+		h.popTop()
+		if top.heapKey > prev {
+			t.Fatal("index not ordered by descending idle key")
+		}
+		prev = top.heapKey
+		seen++
 	}
-	_ = tasks
+	if seen != 100 {
+		t.Fatalf("drained %d entries, want 100", seen)
+	}
 }
 
-func TestIdleHeapLazyDeletion(t *testing.T) {
-	b := &Bag{ID: 0}
-	works := []float64{100, 100, 100}
-	bag := newBag(0, 0, 1000, works)
-	// Pop one task via the queue; its heap entry becomes stale.
+func TestIdleIdxLazyDeletion(t *testing.T) {
+	bag := newBag(0, 0, 1000, []float64{100, 100, 100})
+	var h idleIdx
+	for _, tk := range bag.Tasks {
+		h.push(tk)
+	}
+	// Pop one task via the queue; its index entry becomes stale.
 	tk := bag.popPending()
 	bag.markRunning(tk)
-	key, top := bag.maxIdle()
+	top := h.peek()
 	if top == tk {
-		t.Fatal("maxIdle returned a running task")
+		t.Fatal("peek returned a running task")
 	}
-	if top == nil || key != top.heapKey {
-		t.Fatalf("maxIdle inconsistent: %v %v", key, top)
+	if top == nil || top.State != TaskPending {
+		t.Fatalf("peek inconsistent: %v", top)
 	}
-	_ = b
+	// Re-enqueueing bumps the epoch: the old entry must stay stale until
+	// the new push lands.
+	t2 := bag.popPending()
+	bag.markRunning(t2)
+	bag.unmarkRunning(t2)
+	bag.enqueuePending(t2, true)
+	if got := h.peek(); got == nil || got == t2 {
+		t.Fatalf("stale epoch entry surfaced: %v", got)
+	}
+	h.push(t2)
+	if got := h.peek(); got == nil || got.State != TaskPending {
+		t.Fatalf("peek after re-push inconsistent: %v", got)
+	}
+}
+
+func TestRunHeapTracksReplicaCounts(t *testing.T) {
+	bag := newBag(0, 0, 1000, []float64{100, 100, 100, 100})
+	var ts []*Task
+	for i := 0; i < 4; i++ {
+		tk := bag.popPending()
+		bag.markRunning(tk)
+		tk.Replicas = append(tk.Replicas, &Replica{Task: tk})
+		bag.replicaCountChanged(tk)
+		ts = append(ts, tk)
+	}
+	// All at one replica: the lowest task ID is on top.
+	if top := bag.runHeap.top(); top != ts[0] {
+		t.Fatalf("top = task %d, want 0", top.ID)
+	}
+	// Replicate task 0: task 1 becomes the least-replicated.
+	ts[0].Replicas = append(ts[0].Replicas, &Replica{Task: ts[0]})
+	bag.replicaCountChanged(ts[0])
+	if top := bag.runHeap.top(); top != ts[1] {
+		t.Fatalf("top = task %d after replicating 0, want 1", top.ID)
+	}
+	if bag.minRunReplicas() != 1 {
+		t.Fatalf("minRunReplicas = %d, want 1", bag.minRunReplicas())
+	}
+	// Drop task 1's replica count to zero (failure path shape).
+	ts[1].Replicas = nil
+	bag.replicaCountChanged(ts[1])
+	if top := bag.runHeap.top(); top != ts[1] || bag.minRunReplicas() != 0 {
+		t.Fatalf("top = task %d (min %d), want 1 (0)", top.ID, bag.minRunReplicas())
+	}
+	// Remove tasks; the heap shrinks and stays consistent.
+	bag.unmarkRunning(ts[1])
+	if top := bag.runHeap.top(); top != ts[2] {
+		t.Fatalf("top = task %d after removal, want 2", top.ID)
+	}
+	if ts[1].runIdx != -1 {
+		t.Fatal("removed task keeps a heap index")
+	}
+	bag.unmarkRunning(ts[2])
+	bag.unmarkRunning(ts[3])
+	bag.unmarkRunning(ts[0])
+	if bag.runHeap.len() != 0 {
+		t.Fatalf("heap not empty after removing all: %d", bag.runHeap.len())
+	}
+	if bag.replicable(100) != nil || bag.minRunReplicas() <= 0 {
+		t.Fatal("empty heap should report no replicable task")
+	}
 }
 
 func TestBagAccessors(t *testing.T) {
@@ -187,9 +254,11 @@ func TestReplicableSelection(t *testing.T) {
 	t0 := bag.popPending()
 	bag.markRunning(t0)
 	t0.Replicas = append(t0.Replicas, &Replica{Task: t0})
+	bag.replicaCountChanged(t0)
 	t1 := bag.popPending()
 	bag.markRunning(t1)
 	t1.Replicas = append(t1.Replicas, &Replica{Task: t1}, &Replica{Task: t1})
+	bag.replicaCountChanged(t1)
 	// Threshold 2: only t0 (1 replica) qualifies; t1 is full.
 	if got := bag.replicable(2); got != t0 {
 		t.Fatalf("replicable(2) = %v, want task 0", got)

@@ -5,8 +5,13 @@
 // order, so a run is fully deterministic: the same sequence of Schedule and
 // Cancel calls always yields the same execution order.
 //
-// Events may be cancelled after being scheduled; cancellation is O(log n)
-// because every event tracks its heap index.
+// Events are pooled: once an event fires or is cancelled its storage is
+// recycled for the next Schedule, so the steady-state event loop allocates
+// nothing. Callers therefore never hold *event pointers; Schedule returns a
+// generation-stamped EventRef handle whose Cancel and Pending operations
+// are safe (and no-ops) after the event has fired and its storage been
+// reused. Cancellation is O(log n) because every event tracks its heap
+// index (an intrusive heap).
 package des
 
 import (
@@ -18,21 +23,40 @@ import (
 // engine so that it can schedule further events.
 type Handler func(e *Engine)
 
-// Event is a scheduled occurrence inside the simulation. The zero value is
-// not useful; events are created by Engine.Schedule and friends.
-type Event struct {
-	time    float64
-	seq     uint64
-	index   int // position in the heap, -1 when not queued
-	handler Handler
+// event is a pooled, scheduled occurrence inside the simulation. Callers
+// interact with events only through EventRef handles.
+type event struct {
+	time  float64
+	seq   uint64
+	gen   uint64 // bumped on recycle; stale EventRefs detect it
+	index int    // position in the heap, -1 when not queued
+	fn    func(e *Engine, arg any)
+	arg   any
 }
 
-// Time returns the simulation time at which the event fires (or fired).
-func (ev *Event) Time() float64 { return ev.time }
+// EventRef is a handle to a scheduled event. The zero value is a valid
+// "no event" reference: cancelling it is a no-op and it is never pending.
+// A ref goes permanently stale once its event fires or is cancelled, even
+// after the engine recycles the underlying storage for a new event.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
-// Pending reports whether the event is still queued (neither fired nor
-// cancelled).
-func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+// Pending reports whether the referenced event is still queued (neither
+// fired nor cancelled).
+func (ref EventRef) Pending() bool {
+	return ref.ev != nil && ref.ev.gen == ref.gen && ref.ev.index >= 0
+}
+
+// Time returns the simulation time at which the event will fire, or NaN
+// when the event is no longer pending.
+func (ref EventRef) Time() float64 {
+	if !ref.Pending() {
+		return math.NaN()
+	}
+	return ref.ev.time
+}
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use; a simulation run is single-threaded by design and
@@ -40,7 +64,8 @@ func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
 type Engine struct {
 	now     float64
 	seq     uint64
-	heap    []*Event
+	heap    []*event
+	pool    []*event // free-list of recycled events
 	fired   uint64
 	stopped bool
 }
@@ -60,40 +85,86 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Len returns the number of events currently queued.
 func (e *Engine) Len() int { return len(e.heap) }
 
+// runHandler adapts the closure-based Handler API to the pooled (fn, arg)
+// representation. Handler values are pointer-shaped, so storing one in the
+// arg interface does not allocate.
+func runHandler(e *Engine, arg any) { arg.(Handler)(e) }
+
 // Schedule enqueues handler to run after delay simulation seconds and
-// returns the event so that it can be cancelled. It panics if delay is
+// returns a handle so that it can be cancelled. It panics if delay is
 // negative or NaN: scheduling into the past is always a model bug.
-func (e *Engine) Schedule(delay float64, handler Handler) *Event {
-	if math.IsNaN(delay) || delay < 0 {
-		panic(fmt.Sprintf("des: invalid delay %v", delay))
+func (e *Engine) Schedule(delay float64, handler Handler) EventRef {
+	if handler == nil {
+		panic("des: nil handler")
 	}
-	return e.ScheduleAt(e.now+delay, handler)
+	return e.ScheduleFunc(delay, runHandler, handler)
 }
 
 // ScheduleAt enqueues handler to run at absolute simulation time t. It
 // panics if t precedes the current time.
-func (e *Engine) ScheduleAt(t float64, handler Handler) *Event {
-	if math.IsNaN(t) || t < e.now {
-		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
-	}
+func (e *Engine) ScheduleAt(t float64, handler Handler) EventRef {
 	if handler == nil {
 		panic("des: nil handler")
 	}
-	e.seq++
-	ev := &Event{time: t, seq: e.seq, handler: handler}
-	e.push(ev)
-	return ev
+	return e.ScheduleFuncAt(t, runHandler, handler)
 }
 
-// Cancel removes a pending event from the queue. Cancelling a nil, fired or
-// already-cancelled event is a no-op, which simplifies caller bookkeeping.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// ScheduleFunc enqueues fn(engine, arg) to run after delay simulation
+// seconds. It is the allocation-free fast path for hot loops: fn is
+// typically a pre-bound method value and arg a pointer, so neither the
+// event (pooled) nor the callback (no closure) costs a heap allocation.
+func (e *Engine) ScheduleFunc(delay float64, fn func(*Engine, any), arg any) EventRef {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	return e.ScheduleFuncAt(e.now+delay, fn, arg)
+}
+
+// ScheduleFuncAt is ScheduleFunc with an absolute fire time.
+func (e *Engine) ScheduleFuncAt(t float64, fn func(*Engine, any), arg any) EventRef {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	e.seq++
+	ev := e.alloc()
+	ev.time, ev.seq, ev.fn, ev.arg = t, e.seq, fn, arg
+	e.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// alloc takes an event from the pool or grows it.
+func (e *Engine) alloc() *event {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		return ev
+	}
+	return &event{index: -1}
+}
+
+// recycle invalidates every outstanding EventRef to ev and returns its
+// storage to the pool.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.index = -1
+	ev.fn = nil
+	ev.arg = nil
+	e.pool = append(e.pool, ev)
+}
+
+// Cancel removes a pending event from the queue and recycles it.
+// Cancelling a zero, fired, stale or already-cancelled ref is a no-op,
+// which simplifies caller bookkeeping.
+func (e *Engine) Cancel(ref EventRef) {
+	if !ref.Pending() {
 		return
 	}
-	e.remove(ev.index)
-	ev.index = -1
-	ev.handler = nil
+	e.remove(ref.ev.index)
+	e.recycle(ref.ev)
 }
 
 // Step executes the single earliest event. It returns false when the queue
@@ -104,12 +175,11 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.heap[0]
 	e.remove(0)
-	ev.index = -1
 	e.now = ev.time
-	h := ev.handler
-	ev.handler = nil
+	fn, arg := ev.fn, ev.arg
+	e.recycle(ev) // before the callback, so it can reuse the slot
 	e.fired++
-	h(e)
+	fn(e, arg)
 	return true
 }
 
@@ -154,7 +224,7 @@ func (e *Engine) swap(i, j int) {
 	e.heap[j].index = j
 }
 
-func (e *Engine) push(ev *Event) {
+func (e *Engine) push(ev *event) {
 	ev.index = len(e.heap)
 	e.heap = append(e.heap, ev)
 	e.up(ev.index)

@@ -52,15 +52,63 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-ref cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(EventRef{})
+}
+
+// TestStaleRefAfterRecycle pins the pool-safety contract: a ref to a fired
+// event must stay permanently stale even after the engine reuses the
+// event's storage, so cancelling it never kills an unrelated event.
+func TestStaleRefAfterRecycle(t *testing.T) {
+	e := New()
+	first := e.Schedule(1, func(*Engine) {})
+	e.Run()
+	if first.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// The pool now holds the fired event; this Schedule reuses it.
+	fired := false
+	second := e.Schedule(1, func(*Engine) { fired = true })
+	if !second.Pending() {
+		t.Fatal("second event should be pending")
+	}
+	e.Cancel(first) // stale ref: must not cancel the recycled event
+	if !second.Pending() {
+		t.Fatal("stale ref cancelled a recycled event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event never fired")
+	}
+}
+
+// TestEventPoolReuse verifies the steady-state loop recycles storage: far
+// more events fire than distinct event structs are ever allocated.
+func TestEventPoolReuse(t *testing.T) {
+	e := New()
+	var chain func(*Engine)
+	n := 0
+	chain = func(en *Engine) {
+		n++
+		if n < 1000 {
+			en.Schedule(1, chain)
+		}
+	}
+	e.Schedule(1, chain)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("fired %d, want 1000", n)
+	}
+	if got := len(e.pool); got != 1 {
+		t.Fatalf("pool holds %d events, want 1 (single recycled slot)", got)
+	}
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []float64
-	var evs []*Event
+	var evs []EventRef
 	times := []float64{9, 4, 7, 1, 8, 2, 6, 3, 5}
 	for _, d := range times {
 		d := d
@@ -205,7 +253,7 @@ func TestHeapPropertyRandom(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		e := New()
 		var fired []float64
-		var live []*Event
+		var live []EventRef
 		for i := 0; i < 500; i++ {
 			d := r.Float64() * 1000
 			live = append(live, e.Schedule(d, func(*Engine) { fired = append(fired, d) }))
@@ -279,5 +327,41 @@ func BenchmarkScheduleRun(b *testing.B) {
 			e.Schedule(d, func(*Engine) {})
 		}
 		e.Run()
+	}
+}
+
+// BenchmarkEventLoop measures the steady-state event churn the simulator
+// core exercises: a pool of pending events where every firing schedules a
+// successor through the no-closure ScheduleFunc path. With the event pool
+// this loop is allocation-free.
+func BenchmarkEventLoop(b *testing.B) {
+	e := New()
+	var next func(*Engine, any)
+	next = func(en *Engine, arg any) {
+		en.ScheduleFunc(1, next, arg)
+	}
+	// Keep a realistic queue depth so heap operations cost O(log n).
+	for i := 0; i < 1024; i++ {
+		e.ScheduleFunc(float64(i%7)+1, next, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the schedule-then-cancel cycle (the
+// simulator cancels sibling events whenever a replica wins a task).
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := New()
+	nop := func(*Engine, any) {}
+	for i := 0; i < 1024; i++ {
+		e.ScheduleFunc(float64(i+1), nop, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.ScheduleFunc(1, nop, nil))
 	}
 }

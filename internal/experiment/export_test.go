@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"botgrid/internal/core"
+	"botgrid/internal/stats"
 )
 
 func quickResult(t *testing.T) *FigureResult {
@@ -129,21 +130,73 @@ func TestFigureSVG(t *testing.T) {
 
 func TestPercentile(t *testing.T) {
 	xs := []float64{5, 1, 4, 2, 3}
-	if got := percentile(xs, 0.5); got != 3 {
+	if got := stats.Percentile(xs, 0.5); got != 3 {
 		t.Fatalf("p50 = %v, want 3", got)
 	}
-	if got := percentile(xs, 1.0); got != 5 {
+	if got := stats.Percentile(xs, 1.0); got != 5 {
 		t.Fatalf("p100 = %v, want 5", got)
 	}
-	if got := percentile(xs, 0.0); got != 1 {
+	if got := stats.Percentile(xs, 0.0); got != 1 {
 		t.Fatalf("p0 = %v, want 1", got)
 	}
-	if !math.IsNaN(percentile(nil, 0.5)) {
+	if !math.IsNaN(stats.Percentile(nil, 0.5)) {
 		t.Fatal("empty percentile should be NaN")
 	}
 	// Input must not be mutated.
 	if xs[0] != 5 {
 		t.Fatal("percentile mutated its input")
+	}
+}
+
+func TestWinnerDetailed(t *testing.T) {
+	mkCell := func(gran float64, pol core.PolicyKind, mean float64, sat bool) Cell {
+		c := Cell{Granularity: gran, Policy: pol, Saturated: sat}
+		c.CI.Mean = mean
+		return c
+	}
+	fr := &FigureResult{Cells: [][]Cell{
+		{
+			mkCell(1000, core.FCFSShare, 500, false),
+			mkCell(1000, core.RR, 400, false),
+		},
+		{
+			mkCell(25000, core.FCFSShare, 0, true),
+			mkCell(25000, core.RR, 0, true),
+		},
+	}}
+
+	// A normal row: the lowest-mean non-saturated policy wins.
+	if pol, st := fr.WinnerDetailed(1000); st != WinnerFound || pol != core.RR {
+		t.Fatalf("WinnerDetailed(1000) = %v/%v, want RR/found", pol, st)
+	}
+	if pol, ok := fr.Winner(1000); !ok || pol != core.RR {
+		t.Fatalf("Winner(1000) = %v/%v, want RR/true", pol, ok)
+	}
+
+	// Every cell saturated: status distinguishes this from a bad lookup.
+	if _, st := fr.WinnerDetailed(25000); st != WinnerAllSaturated {
+		t.Fatalf("WinnerDetailed(25000) status = %v, want all-saturated", st)
+	}
+	if _, ok := fr.Winner(25000); ok {
+		t.Fatal("Winner(25000) should report no winner for a saturated row")
+	}
+
+	// Granularity absent from the figure.
+	if _, st := fr.WinnerDetailed(777); st != WinnerUnknownGranularity {
+		t.Fatalf("WinnerDetailed(777) status = %v, want unknown-granularity", st)
+	}
+	if _, ok := fr.Winner(777); ok {
+		t.Fatal("Winner(777) should report no winner for an unknown granularity")
+	}
+
+	for st, want := range map[WinnerStatus]string{
+		WinnerFound:              "found",
+		WinnerAllSaturated:       "all-saturated",
+		WinnerUnknownGranularity: "unknown-granularity",
+	} {
+		if st.String() != want {
+			t.Fatalf("WinnerStatus(%d).String() = %q, want %q", int(st), st, want)
+		}
 	}
 }
 

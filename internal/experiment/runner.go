@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 
@@ -74,11 +73,41 @@ func (fr *FigureResult) Cell(granularity float64, policy core.PolicyKind) (Cell,
 	return Cell{}, false
 }
 
-// Winner returns the policy with the lowest mean turnaround for a
-// granularity, preferring non-saturated cells. ok is false when every cell
-// saturated.
-func (fr *FigureResult) Winner(granularity float64) (core.PolicyKind, bool) {
-	best := -1
+// WinnerStatus qualifies a WinnerDetailed result: a winner was found, or
+// why none exists.
+type WinnerStatus int
+
+const (
+	// WinnerFound means a non-saturated cell with the lowest mean
+	// turnaround was identified.
+	WinnerFound WinnerStatus = iota
+	// WinnerAllSaturated means the granularity exists in the figure but
+	// every policy's cell saturated, so no meaningful ranking exists.
+	WinnerAllSaturated
+	// WinnerUnknownGranularity means the figure holds no row for the
+	// requested granularity.
+	WinnerUnknownGranularity
+)
+
+// String names the status.
+func (ws WinnerStatus) String() string {
+	switch ws {
+	case WinnerFound:
+		return "found"
+	case WinnerAllSaturated:
+		return "all-saturated"
+	case WinnerUnknownGranularity:
+		return "unknown-granularity"
+	default:
+		return fmt.Sprintf("WinnerStatus(%d)", int(ws))
+	}
+}
+
+// WinnerDetailed returns the policy with the lowest mean turnaround for a
+// granularity among non-saturated cells, together with a status that
+// distinguishes "no such granularity in this figure" from "every policy
+// saturated". The returned kind is meaningful only for WinnerFound.
+func (fr *FigureResult) WinnerDetailed(granularity float64) (core.PolicyKind, WinnerStatus) {
 	var row []Cell
 	for _, r := range fr.Cells {
 		if len(r) > 0 && r[0].Granularity == granularity {
@@ -86,6 +115,10 @@ func (fr *FigureResult) Winner(granularity float64) (core.PolicyKind, bool) {
 			break
 		}
 	}
+	if row == nil {
+		return 0, WinnerUnknownGranularity
+	}
+	best := -1
 	for i, c := range row {
 		if c.Saturated {
 			continue
@@ -95,9 +128,18 @@ func (fr *FigureResult) Winner(granularity float64) (core.PolicyKind, bool) {
 		}
 	}
 	if best < 0 {
-		return 0, false
+		return 0, WinnerAllSaturated
 	}
-	return row[best].Policy, true
+	return row[best].Policy, WinnerFound
+}
+
+// Winner returns the policy with the lowest mean turnaround for a
+// granularity, preferring non-saturated cells. ok is false when no winner
+// exists; use WinnerDetailed to distinguish an unknown granularity from a
+// fully saturated row.
+func (fr *FigureResult) Winner(granularity float64) (core.PolicyKind, bool) {
+	k, st := fr.WinnerDetailed(granularity)
+	return k, st == WinnerFound
 }
 
 // RunFigure reproduces one figure panel: for every granularity × policy it
@@ -198,32 +240,13 @@ func runCell(f Figure, o Options, gran float64, pol core.PolicyKind, sem chan st
 	cell.MeanWaiting = waiting.Mean()
 	cell.MeanMakespan = makespan.Mean()
 	cell.ReplicaOverhead = overhead.Mean()
-	cell.P50 = percentile(pooled, 0.50)
-	cell.P95 = percentile(pooled, 0.95)
+	cell.P50 = stats.Percentile(pooled, 0.50)
+	cell.P95 = stats.Percentile(pooled, 0.95)
 	var sd stats.Accumulator
 	sd.AddAll(slowdowns)
 	cell.MeanSlowdown = sd.Mean()
 	cell.Fairness = stats.JainIndex(slowdowns)
 	return cell, nil
-}
-
-// percentile returns the q-quantile of xs by nearest-rank on a sorted
-// copy; NaN when empty.
-func percentile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }
 
 // RunFigures runs several panels and returns them keyed by figure ID.

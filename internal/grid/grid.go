@@ -171,7 +171,7 @@ type Machine struct {
 	upSince   float64
 	totalUp   float64
 	failures  int
-	nextEvent *des.Event
+	nextEvent des.EventRef
 }
 
 // Up reports whether the machine is currently available.
@@ -305,48 +305,76 @@ func (g *Grid) Start(e *des.Engine, str *rng.Stream, l Listener) {
 		return
 	}
 	mtbf := g.Config.MTBF()
-	scale := rng.WeibullScaleForMean(g.Config.WeibullShape, mtbf)
+	p := &availProc{
+		g:     g,
+		str:   str,
+		l:     l,
+		scale: rng.WeibullScaleForMean(g.Config.WeibullShape, mtbf),
+	}
+	p.failFn = p.fail
+	p.repairFn = p.repair
 	for _, m := range g.Machines {
 		m.upSince = e.Now()
-		g.scheduleFailure(e, str, m, scale, l)
+		p.scheduleFailure(e, m)
 	}
 }
 
-func (g *Grid) scheduleFailure(e *des.Engine, str *rng.Stream, m *Machine, scale float64, l Listener) {
-	effScale := scale
-	if g.Config.diurnal() {
-		phase := math.Mod(e.Now(), g.Config.DiurnalPeriod)
-		if phase < g.Config.DiurnalPeriod/2 {
-			effScale = scale / g.Config.DiurnalPeakFactor
+// availProc drives the alternating up/down renewal process of every machine
+// in a grid. One instance per Start call carries the shared parameters and
+// the two pre-bound event callbacks, so the steady-state failure/repair
+// churn schedules events with a *Machine argument and allocates nothing.
+type availProc struct {
+	g        *Grid
+	str      *rng.Stream
+	l        Listener
+	scale    float64
+	failFn   func(*des.Engine, any)
+	repairFn func(*des.Engine, any)
+}
+
+// scheduleFailure draws the next Weibull up-time (with optional diurnal
+// modulation of the scale at the draw instant) and schedules the failure.
+func (p *availProc) scheduleFailure(e *des.Engine, m *Machine) {
+	effScale := p.scale
+	if cfg := p.g.Config; cfg.diurnal() {
+		phase := math.Mod(e.Now(), cfg.DiurnalPeriod)
+		if phase < cfg.DiurnalPeriod/2 {
+			effScale = p.scale / cfg.DiurnalPeakFactor
 		} else {
-			effScale = scale * g.Config.DiurnalPeakFactor
+			effScale = p.scale * cfg.DiurnalPeakFactor
 		}
 	}
-	up := str.Weibull(g.Config.WeibullShape, effScale)
-	m.nextEvent = e.Schedule(up, func(e *des.Engine) {
-		m.up = false
-		m.failures++
-		m.totalUp += e.Now() - m.upSince
-		if l != nil {
-			l.MachineFailed(m)
-		}
-		repair := str.TruncNormal(g.Config.RepairMean, g.Config.RepairSD,
-			g.Config.RepairLo, g.Config.RepairHi)
-		m.nextEvent = e.Schedule(repair, func(e *des.Engine) {
-			m.up = true
-			m.upSince = e.Now()
-			if l != nil {
-				l.MachineRepaired(m)
-			}
-			g.scheduleFailure(e, str, m, scale, l)
-		})
-	})
+	up := p.str.Weibull(p.g.Config.WeibullShape, effScale)
+	m.nextEvent = e.ScheduleFunc(up, p.failFn, m)
+}
+
+func (p *availProc) fail(e *des.Engine, arg any) {
+	m := arg.(*Machine)
+	m.up = false
+	m.failures++
+	m.totalUp += e.Now() - m.upSince
+	if p.l != nil {
+		p.l.MachineFailed(m)
+	}
+	cfg := p.g.Config
+	repair := p.str.TruncNormal(cfg.RepairMean, cfg.RepairSD, cfg.RepairLo, cfg.RepairHi)
+	m.nextEvent = e.ScheduleFunc(repair, p.repairFn, m)
+}
+
+func (p *availProc) repair(e *des.Engine, arg any) {
+	m := arg.(*Machine)
+	m.up = true
+	m.upSince = e.Now()
+	if p.l != nil {
+		p.l.MachineRepaired(m)
+	}
+	p.scheduleFailure(e, m)
 }
 
 // Stop cancels all pending availability events, freezing machine state.
 func (g *Grid) Stop(e *des.Engine) {
 	for _, m := range g.Machines {
 		e.Cancel(m.nextEvent)
-		m.nextEvent = nil
+		m.nextEvent = des.EventRef{}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"botgrid/internal/stats"
 )
 
 // LatencyRecorder accumulates duration samples into a bounded ring and
@@ -61,17 +63,10 @@ func (l *LatencyRecorder) Summary() LatencySummary {
 		return out
 	}
 	sort.Float64s(window)
-	out.P50 = percentile(window, 0.50)
-	out.P95 = percentile(window, 0.95)
-	out.P99 = percentile(window, 0.99)
+	out.P50 = stats.PercentileOfSorted(window, 0.50)
+	out.P95 = stats.PercentileOfSorted(window, 0.95)
+	out.P99 = stats.PercentileOfSorted(window, 0.99)
 	return out
-}
-
-// percentile returns the q-quantile of sorted (nearest-rank on the closed
-// interval, so q=1 is the maximum of the window).
-func percentile(sorted []float64, q float64) float64 {
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 // counters are the server's monotonic event counters, mutated only with

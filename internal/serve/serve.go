@@ -95,13 +95,14 @@ type Server struct {
 
 	decLat *LatencyRecorder
 
-	mu      sync.Mutex
-	g       *grid.Grid
-	sched   *core.Scheduler
-	workers map[string]*workerState
-	bags    map[int]*core.Bag // every submitted bag by ID, completed included
-	bagIDs  []int             // submission order
-	met     counters
+	mu       sync.Mutex
+	g        *grid.Grid
+	sched    *core.Scheduler
+	workers  map[string]*workerState
+	bags     map[int]*core.Bag // every submitted bag by ID, completed included
+	bagIDs   []int             // submission order
+	doneBags map[int]BagStatus // frozen snapshots; a completed bag never changes
+	met      counters
 
 	stop chan struct{}
 	done chan struct{}
@@ -132,10 +133,11 @@ func NewServer(cfg Config) *Server {
 		decLat:  NewLatencyRecorder(0),
 		g:       g,
 		sched:   core.NewLiveScheduler(clock, g, pol, cfg.Sched, cfg.Observer),
-		workers: make(map[string]*workerState),
-		bags:    make(map[int]*core.Bag),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		workers:  make(map[string]*workerState),
+		bags:     make(map[int]*core.Bag),
+		doneBags: make(map[int]BagStatus),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/bags", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/bags/{id}", s.handleBag)
@@ -267,7 +269,7 @@ func (s *Server) handleBag(w http.ResponseWriter, r *http.Request) {
 	b, ok := s.bags[id]
 	var st BagStatus
 	if ok {
-		st = bagStatus(b)
+		st = s.bagStatusCached(id, b)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -275,6 +277,20 @@ func (s *Server) handleBag(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// bagStatusCached returns the bag's status, serving completed bags from the
+// frozen-snapshot cache (a completed bag never changes, so its snapshot is
+// computed at most once). Must be called with mu held.
+func (s *Server) bagStatusCached(id int, b *core.Bag) BagStatus {
+	if bs, ok := s.doneBags[id]; ok {
+		return bs
+	}
+	bs := bagStatus(b)
+	if bs.Completed {
+		s.doneBags[id] = bs
+	}
+	return bs
 }
 
 // bagStatus snapshots b. Must be called with mu held.
@@ -411,10 +427,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := s.statsLocked()
 	s.mu.Unlock()
+	// decLat has its own lock; summarizing (copy + sort of the retained
+	// window) happens outside the scheduler's critical section.
+	st.DecisionLatency = s.decLat.Summary()
 	writeJSON(w, http.StatusOK, st)
 }
 
-// statsLocked snapshots the scheduler. Must be called with mu held.
+// statsLocked snapshots the scheduler. Must be called with mu held; the
+// caller fills DecisionLatency after releasing mu.
 func (s *Server) statsLocked() StatsResponse {
 	live := 0
 	for _, ws := range s.workers {
@@ -436,12 +456,12 @@ func (s *Server) statsLocked() StatsResponse {
 		ReplicasStarted: s.sched.ReplicasStarted(),
 		ReplicasKilled:  s.sched.ReplicasKilled(),
 		ReplicaFailures: s.sched.ReplicaFailures(),
-		LeaseExpiries:   s.met.LeaseExpiries,
-		StaleReports:    s.met.StaleReports,
-		DecisionLatency: s.decLat.Summary(),
+		LeaseExpiries: s.met.LeaseExpiries,
+		StaleReports:  s.met.StaleReports,
 	}
+	st.Bags = make([]BagStatus, 0, len(s.bagIDs))
 	for _, id := range s.bagIDs {
-		st.Bags = append(st.Bags, bagStatus(s.bags[id]))
+		st.Bags = append(st.Bags, s.bagStatusCached(id, s.bags[id]))
 	}
 	return st
 }
@@ -457,12 +477,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			ActiveBags      int `json:"active_bags"`
 		} `json:"gauges"`
 		DecisionLatency LatencySummary `json:"decision_latency"`
-	}{Counters: s.met, DecisionLatency: s.decLat.Summary()}
+	}{Counters: s.met}
 	doc.Gauges.PendingTasks = s.sched.PendingTasks()
 	doc.Gauges.RunningReplicas = s.sched.RunningReplicas()
 	doc.Gauges.FreeWorkers = s.sched.FreeMachines()
 	doc.Gauges.ActiveBags = len(s.sched.Bags())
 	s.mu.Unlock()
+	doc.DecisionLatency = s.decLat.Summary()
 	writeJSON(w, http.StatusOK, doc)
 }
 

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the q-quantile of xs by the nearest-rank method on a
+// sorted copy: the smallest element x such that at least q·n of the sample
+// is ≤ x. q is clamped to [0, 1]; the result is NaN for an empty sample.
+// The input is not modified.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return PercentileOfSorted(sorted, q)
+}
+
+// PercentileOfSorted is Percentile for data already sorted ascending; it
+// performs no allocation, so summary hot paths can reuse a sorted window.
+func PercentileOfSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}

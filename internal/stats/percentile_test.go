@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentileEmpty(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("Percentile of empty sample should be NaN")
+	}
+	if !math.IsNaN(PercentileOfSorted(nil, 0.5)) {
+		t.Fatal("PercentileOfSorted of empty sample should be NaN")
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := Percentile([]float64{7}, q); got != 7 {
+			t.Fatalf("Percentile([7], %v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestPercentileBoundaries(t *testing.T) {
+	xs := []float64{30, 10, 20, 50, 40} // unsorted on purpose
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},    // clamped to the minimum
+		{0.2, 10},  // ceil(0.2*5)-1 = 0
+		{0.5, 30},  // ceil(0.5*5)-1 = 2 (nearest-rank median)
+		{0.8, 40},  // ceil(0.8*5)-1 = 3
+		{0.81, 50}, // crosses into the last rank
+		{1, 50},    // maximum
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); got != c.want {
+			t.Fatalf("Percentile(%v, %v) = %v, want %v", xs, c.q, got, c.want)
+		}
+	}
+	// Input must stay untouched.
+	if xs[0] != 30 || xs[4] != 40 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileOfSortedMatchesPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 1} {
+		if got, want := PercentileOfSorted(sorted, q), Percentile(sorted, q); got != want {
+			t.Fatalf("q=%v: sorted path %v != copy path %v", q, got, want)
+		}
+	}
+}
