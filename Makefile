@@ -4,8 +4,11 @@
 #   make test    run the full test suite
 #   make race    run the full suite under the race detector
 #   make vet     static checks
-#   make bench   dispatch-decision + DES event-loop micro-benchmarks,
-#                recorded to BENCH_sched.json
+#   make bench   dispatch-decision, DES event-loop and journal
+#                (append + recovery-replay) micro-benchmarks, recorded to
+#                BENCH_sched.json; fails if any dispatch-decision
+#                benchmark — including the fsync=off journaled twin —
+#                reports a nonzero allocs/op
 #   make check   everything the CI gate runs
 
 GO ?= go
@@ -28,9 +31,10 @@ vet:
 
 bench:
 	@{ $(GO) test -bench BenchmarkDispatchDecision -benchmem -run '^$$' ./internal/core/ && \
-	   $(GO) test -bench 'BenchmarkEventLoop|BenchmarkScheduleCancel' -benchmem -run '^$$' ./internal/des/ ; } \
+	   $(GO) test -bench 'BenchmarkEventLoop|BenchmarkScheduleCancel' -benchmem -run '^$$' ./internal/des/ && \
+	   $(GO) test -bench 'BenchmarkDispatchDecision|BenchmarkJournalAppend|BenchmarkRecoveryReplay' -benchmem -run '^$$' ./internal/journal/ ; } \
 	 | tee bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_sched.json
+	$(GO) run ./cmd/benchjson -require-zero-allocs '^BenchmarkDispatchDecision' < bench.out > BENCH_sched.json
 	@rm -f bench.out
 	@echo "wrote BENCH_sched.json"
 

@@ -5,13 +5,21 @@
 // Only the standard columns are parsed: iterations, ns/op and — with
 // -benchmem — B/op and allocs/op. Environment header lines (goos, goarch,
 // cpu, pkg) are carried through verbatim; anything else is ignored.
+//
+// -require-zero-allocs RE makes the run a gate as well as a recorder:
+// every benchmark whose name matches RE must report 0 allocs/op, and at
+// least one must match, or the exit status is nonzero. `make bench` uses
+// it to pin the dispatch decision path — journaled or not — at zero
+// allocations.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -41,6 +49,18 @@ type Report struct {
 }
 
 func main() {
+	zeroAllocs := flag.String("require-zero-allocs", "",
+		"regexp of benchmark names that must report 0 allocs/op (at least one must match)")
+	flag.Parse()
+	var zeroRE *regexp.Regexp
+	if *zeroAllocs != "" {
+		var err error
+		if zeroRE, err = regexp.Compile(*zeroAllocs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -require-zero-allocs:", err)
+			os.Exit(1)
+		}
+	}
+
 	rep := Report{Benchmarks: []Benchmark{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -70,6 +90,27 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if zeroRE != nil {
+		matched, failed := 0, 0
+		for _, b := range rep.Benchmarks {
+			if !zeroRE.MatchString(b.Name) {
+				continue
+			}
+			matched++
+			if b.AllocsPerOp != 0 {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchjson: %s (%s): %d allocs/op, want 0\n",
+					b.Name, b.Pkg, b.AllocsPerOp)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark matched -require-zero-allocs %q\n", *zeroAllocs)
+			os.Exit(1)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

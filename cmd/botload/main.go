@@ -81,7 +81,7 @@ func run(ctx context.Context, o options, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		srv := serve.NewServer(serve.Config{
+		srv, err := serve.NewServer(serve.Config{
 			Policy:      k,
 			MaxWorkers:  o.workers,
 			WorkerPower: o.power,
@@ -89,6 +89,9 @@ func run(ctx context.Context, o options, w io.Writer) error {
 			RetryMs:     1,
 			Seed:        o.seed,
 		})
+		if err != nil {
+			return err
+		}
 		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

@@ -3,7 +3,8 @@
 // in the BOINC/OurGrid pull style, and the same core.Scheduler that drives
 // the simulator makes every decision in wall-clock time.
 //
-//	botserved -addr :8431 -policy LongIdle -workers 500 -lease 30s
+//	botserved -addr :8431 -policy LongIdle -workers 500 -lease 30s \
+//	          -data-dir /var/lib/botgrid -fsync batch
 //
 // Endpoints (see internal/serve/protocol.go for the wire reference):
 //
@@ -15,14 +16,21 @@
 //	GET  /v1/stats                  scheduler snapshot
 //	GET  /metrics                   expvar-style counters
 //
+// With -data-dir set, every scheduler mutation is journaled (write-ahead
+// log + periodic snapshots) and a restart — graceful or SIGKILL — recovers
+// the complete pre-crash state: bags, queued and running tasks, worker
+// registrations, replica leases and stats counters.
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes immediately,
-// in-flight requests finish (bounded by -grace), then the process exits.
+// in-flight requests finish (bounded by -grace), a final snapshot is
+// written, then the process exits.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"botgrid/internal/core"
+	"botgrid/internal/journal"
 	"botgrid/internal/serve"
 )
 
@@ -45,6 +54,9 @@ func main() {
 		retry   = flag.Int("retryms", 100, "idle-poll retry hint, milliseconds")
 		seed    = flag.Uint64("seed", 42, "seed for the Random policy")
 		grace   = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		dataDir = flag.String("data-dir", "", "journal directory for crash recovery (empty: in-memory only)")
+		fsync   = flag.String("fsync", "batch", "journal durability: always, batch or off")
+		mtbf    = flag.Duration("snapshot-mtbf", 10*time.Minute, "expected crash interval driving the snapshot cadence")
 	)
 	flag.Parse()
 
@@ -52,14 +64,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmode, err := journal.ParseFsyncMode(*fsync)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := serve.Config{
-		Policy:      k,
-		MaxWorkers:  *workers,
-		WorkerPower: *power,
-		Sched:       core.SchedConfig{Threshold: *thresh},
-		Lease:       *lease,
-		RetryMs:     *retry,
-		Seed:        *seed,
+		Policy:       k,
+		MaxWorkers:   *workers,
+		WorkerPower:  *power,
+		Sched:        core.SchedConfig{Threshold: *thresh},
+		Lease:        *lease,
+		RetryMs:      *retry,
+		Seed:         *seed,
+		DataDir:      *dataDir,
+		Fsync:        fmode,
+		SnapshotMTBF: *mtbf,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -76,11 +95,32 @@ func main() {
 }
 
 // run serves cfg on ln until ctx is cancelled, then drains: the listener
-// closes, in-flight requests finish (up to grace), and the lease sweeper
-// stops. It returns nil on a clean drain.
+// closes, in-flight requests finish (up to grace), the lease sweeper
+// stops, and — when journaling — a final snapshot is written so the next
+// start recovers with zero log replay. It returns nil on a clean drain.
 func run(ctx context.Context, ln net.Listener, cfg serve.Config, grace time.Duration) error {
-	s := serve.NewServer(cfg)
-	defer s.Close()
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			s.Close()
+		}
+	}()
+	if rec := s.Recovery(); rec != nil {
+		if rec.Fresh {
+			log.Printf("botserved: journal initialized in %s (fsync=%s)", cfg.DataDir, cfg.Fsync)
+		} else {
+			log.Printf("botserved: recovered %s in %.3fs: snapshot@%d + %d records"+
+				" (%d segments, %d torn bytes) -> %d bags, %d completed, %d workers,"+
+				" %d running replicas, %d leases expired while down",
+				cfg.DataDir, rec.DurationSec, rec.SnapshotLSN, rec.RecordsReplayed,
+				rec.SegmentsScanned, rec.TornBytes, rec.Bags, rec.CompletedBags,
+				rec.Workers, rec.Replicas, rec.LeasesExpired)
+		}
+	}
 	hs := &http.Server{Handler: s}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -97,6 +137,13 @@ func run(ctx context.Context, ln net.Listener, cfg serve.Config, grace time.Dura
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	closed = true
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("closing journal: %w", err)
+	}
+	if cfg.DataDir != "" {
+		log.Printf("botserved: final snapshot written to %s", cfg.DataDir)
 	}
 	return nil
 }

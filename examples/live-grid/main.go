@@ -35,12 +35,15 @@ const (
 )
 
 func main() {
-	srv := serve.NewServer(serve.Config{
+	srv, err := serve.NewServer(serve.Config{
 		Policy:     core.LongIdle,
 		MaxWorkers: numWorkers,
 		Lease:      60 * time.Millisecond,
 		RetryMs:    1,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -21,5 +21,14 @@ type WallClock struct {
 // NewWallClock returns a WallClock whose origin is the current instant.
 func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
 
+// NewWallClockAt returns a WallClock measuring from the given origin. The
+// live dispatch service uses it after crash recovery: the original epoch is
+// persisted with the journal, so recovered times continue the pre-crash
+// timeline (downtime included) instead of restarting from zero.
+func NewWallClockAt(origin time.Time) *WallClock { return &WallClock{start: origin} }
+
+// Origin returns the instant the clock measures from.
+func (c *WallClock) Origin() time.Time { return c.start }
+
 // Now implements Clock using the monotonic reading of the system clock.
 func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() }

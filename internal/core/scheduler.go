@@ -188,6 +188,7 @@ type Scheduler struct {
 	idx    indexedPolicy // policy's index hooks, nil for unindexed policies
 	cfg    SchedConfig
 	obs    Observer
+	sink   MutationSink // journaling hook; nil for simulation schedulers
 
 	// Pre-bound event and transfer callbacks (simulation mode). Binding
 	// the method values once lets the hot path schedule replica events
@@ -383,6 +384,8 @@ func (s *Scheduler) Submit(granularity float64, works []float64) *Bag {
 		s.noteQueued(t)
 	}
 	s.noteBag(b)
+	s.emit(Mutation{Kind: MutBagSubmitted, Time: b.Arrival, Bag: b.ID,
+		Granularity: granularity, Works: works})
 	s.obs.BagSubmitted(s.clock.Now(), b)
 	s.dispatch()
 	return b
@@ -497,6 +500,8 @@ func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
 	s.replicasStarted++
 	r.Seq = uint64(s.replicasStarted)
 	s.mstate[m.ID].replica = r
+	s.emit(Mutation{Kind: MutReplicaStarted, Time: now, Bag: b.ID, Task: t.ID,
+		Machine: m.ID, Seq: r.Seq, Restart: restart})
 	s.obs.ReplicaStarted(now, r, restart)
 	if s.eng == nil {
 		// Live mode: the worker holding m executes the replica and
@@ -592,11 +597,13 @@ func (s *Scheduler) completeTask(r *Replica) {
 	s.tasksCompleted++
 	s.replicasKilled += killed
 	s.noteBag(b) // a complete bag re-indexes nowhere: entries just go stale
+	s.emit(Mutation{Kind: MutTaskCompleted, Time: now, Bag: b.ID, Task: t.ID, Seq: r.Seq})
 	s.obs.TaskCompleted(now, t, killed)
 	if b.Complete() {
 		b.DoneAt = now
 		s.removeBag(b)
 		s.completed++
+		s.emit(Mutation{Kind: MutBagCompleted, Time: now, Bag: b.ID})
 		s.obs.BagCompleted(now, b)
 		if s.OnBagDone != nil {
 			s.OnBagDone(b)
@@ -664,6 +671,7 @@ func (s *Scheduler) MachineFailed(m *grid.Machine) {
 		st.free = false // its stack entry goes stale
 		s.freeCount--
 	}
+	s.emit(Mutation{Kind: MutMachineDown, Time: now, Machine: m.ID})
 	s.obs.MachineFailed(now, m)
 	r := st.replica
 	if r == nil {
@@ -702,6 +710,7 @@ func (s *Scheduler) MachineFailed(m *grid.Machine) {
 // SchedConfig.SuspendOnFailure) resumes; otherwise the machine rejoins the
 // free pool.
 func (s *Scheduler) MachineRepaired(m *grid.Machine) {
+	s.emit(Mutation{Kind: MutMachineUp, Time: s.clock.Now(), Machine: m.ID})
 	s.obs.MachineRepaired(s.clock.Now(), m)
 	if r := s.mstate[m.ID].replica; r != nil && r.Suspended {
 		s.resumeReplica(r)

@@ -294,6 +294,14 @@ func (q *pendingQueue) pushFront(t *Task) {
 	q.size++
 }
 
+// forEach visits the queued tasks in dispatch order without mutating the
+// queue (snapshot capture).
+func (q *pendingQueue) forEach(f func(*Task)) {
+	for i := 0; i < q.size; i++ {
+		f(q.buf[(q.head+i)%len(q.buf)])
+	}
+}
+
 func (q *pendingQueue) pop() *Task {
 	if q.size == 0 {
 		return nil

@@ -1,0 +1,527 @@
+package journal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/grid"
+)
+
+// testOptions returns journal options for a fresh temp directory.
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		Dir:        t.TempDir(),
+		Fsync:      FsyncOff, // unit tests don't need real fsyncs
+		BatchDelay: 100 * time.Microsecond,
+	}
+}
+
+// script is a small but complete record sequence: one bag of two tasks on
+// a one-machine grid, exercising dispatch, completion, failure-resubmission
+// and both worker record kinds.
+func script() []Record {
+	return []Record{
+		{Kind: KindBagSubmitted, Time: 1, Bag: 0, Granularity: 2000, Works: []float64{100, 200}},
+		{Kind: KindWorkerRegistered, Time: 2, Machine: 0, Worker: "w0", Power: 2},
+		{Kind: KindMachineUp, Time: 2, Machine: 0},
+		{Kind: KindReplicaStarted, Time: 3, Bag: 0, Task: 0, Machine: 0, Seq: 1},
+		{Kind: KindTaskCompleted, Time: 5, Bag: 0, Task: 0, Seq: 1},
+		{Kind: KindReplicaStarted, Time: 6, Bag: 0, Task: 1, Machine: 0, Seq: 2},
+		{Kind: KindMachineDown, Time: 7, Machine: 0},
+		{Kind: KindWorkerSeen, Time: 8, Machine: 0},
+	}
+}
+
+// checkScriptState verifies the State a full replay of script() must yield.
+func checkScriptState(t *testing.T, st *State) {
+	t.Helper()
+	s := st.Sched
+	if s.Submitted != 1 || s.NextBagID != 1 || s.TasksCompleted != 1 ||
+		s.ReplicasStarted != 2 || s.Failures != 1 || s.Completed != 0 {
+		t.Fatalf("scheduler counters = %+v", *s)
+	}
+	if len(s.Bags) != 1 || len(s.Replicas) != 0 {
+		t.Fatalf("got %d bags, %d replicas", len(s.Bags), len(s.Replicas))
+	}
+	b := s.Bags[0]
+	if b.FirstStart != 3 || !reflect.DeepEqual(b.Pending, []int{1}) {
+		t.Fatalf("bag = %+v", b)
+	}
+	t0, t1 := b.Tasks[0], b.Tasks[1]
+	if t0.State != core.TaskDone || t0.DoneAt != 5 || t0.FirstStart != 3 {
+		t.Fatalf("task 0 = %+v", t0)
+	}
+	if t1.State != core.TaskPending || !t1.Restart || t1.Failures != 1 ||
+		t1.IdleSince != 7 || t1.IdleAccum != 5 { // idle 1..6 before starting
+		t.Fatalf("task 1 = %+v", t1)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].ID != "w0" || st.Workers[0].LastSeen != 8 {
+		t.Fatalf("workers = %+v", st.Workers)
+	}
+	if st.MaxTime != 8 {
+		t.Fatalf("MaxTime = %v", st.MaxTime)
+	}
+}
+
+// mustAppend appends recs and waits for the last to be durable.
+func mustAppend(t *testing.T, j *Journal, recs []Record) uint64 {
+	t.Helper()
+	var last uint64
+	for i := range recs {
+		lsn, err := j.Append(&recs[i])
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		last = lsn
+	}
+	if err := j.WaitDurable(last); err != nil {
+		t.Fatalf("WaitDurable(%d): %v", last, err)
+	}
+	return last
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := script()
+	recs = append(recs, Record{Kind: KindReplicaStarted, Time: 9.5, Bag: 3,
+		Task: 17, Machine: 42, Seq: 1 << 40, Restart: true})
+	for i, want := range recs {
+		payload := EncodeRecord(nil, &want)
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("record %d (%v): %v", i, want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeRecordRejects(t *testing.T) {
+	valid := EncodeRecord(nil, &Record{Kind: KindBagCompleted, Time: 1, Bag: 3})
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown kind":   {99, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"kind zero":      {0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"truncated time": {byte(KindBagCompleted), 1, 2},
+		"truncated body": valid[:len(valid)-1],
+		"trailing bytes": append(append([]byte{}, valid...), 7),
+		"empty bag": EncodeRecord(nil, &Record{
+			Kind: KindBagSubmitted, Time: 1, Bag: 0, Works: nil}),
+		"nan time": EncodeRecord(nil, &Record{
+			Kind: KindBagCompleted, Time: math.NaN(), Bag: 0}),
+		"negative time": EncodeRecord(nil, &Record{
+			Kind: KindBagCompleted, Time: -1, Bag: 0}),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRecord(payload); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestReplayScript(t *testing.T) {
+	st := NewState()
+	for _, r := range script() {
+		if err := st.Apply(&r); err != nil {
+			t.Fatalf("Apply(%v): %v", r.Kind, err)
+		}
+	}
+	checkScriptState(t, st)
+
+	// The replayed state must promote to a valid live scheduler. Machine 0
+	// holds no replica, so it must be down at restore time.
+	g := grid.NewCustom(grid.Config{}, []float64{2})
+	g.Machines[0].ForceFail(8)
+	s, err := core.RestoreLiveScheduler(&fixedClock{8}, g, core.NewPolicy(core.FCFSShare, nil),
+		core.DefaultSchedConfig(), nil, st.Sched)
+	if err != nil {
+		t.Fatalf("RestoreLiveScheduler: %v", err)
+	}
+	if s.PendingTasks() != 1 || s.TasksCompleted() != 1 || s.ReplicaFailures() != 1 {
+		t.Fatalf("restored: pending=%d done=%d failures=%d",
+			s.PendingTasks(), s.TasksCompleted(), s.ReplicaFailures())
+	}
+}
+
+type fixedClock struct{ t float64 }
+
+func (c *fixedClock) Now() float64 { return c.t }
+
+func TestReplayRejectsContradictions(t *testing.T) {
+	base := func(n int) *State {
+		st := NewState()
+		for _, r := range script()[:n] {
+			if err := st.Apply(&r); err != nil {
+				t.Fatalf("setup Apply: %v", err)
+			}
+		}
+		return st
+	}
+	cases := map[string]struct {
+		n   int // records of script() to pre-apply
+		rec Record
+	}{
+		"bag ID gap":         {0, Record{Kind: KindBagSubmitted, Time: 1, Bag: 5, Works: []float64{1}}},
+		"unknown bag":        {1, Record{Kind: KindReplicaStarted, Time: 2, Bag: 9, Task: 0, Seq: 1}},
+		"task out of range":  {1, Record{Kind: KindReplicaStarted, Time: 2, Bag: 0, Task: 7, Seq: 1}},
+		"busy machine":       {4, Record{Kind: KindReplicaStarted, Time: 4, Bag: 0, Task: 1, Machine: 0, Seq: 2}},
+		"complete pending":   {1, Record{Kind: KindTaskCompleted, Time: 2, Bag: 0, Task: 1, Seq: 1}},
+		"bag not done":       {1, Record{Kind: KindBagCompleted, Time: 2, Bag: 0}},
+		"unregistered seen":  {1, Record{Kind: KindWorkerSeen, Time: 2, Machine: 3}},
+		"slot already taken": {2, Record{Kind: KindWorkerRegistered, Time: 3, Machine: 0, Worker: "other"}},
+	}
+	for name, c := range cases {
+		if err := base(c.n).Apply(&c.rec); err == nil {
+			t.Errorf("%s: Apply accepted a contradictory record", name)
+		}
+	}
+}
+
+func TestOpenFreshAppendReopen(t *testing.T) {
+	opts := testOptions(t)
+	opts.Epoch = time.Unix(1000, 0)
+	j, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Fresh || rec.LastLSN != 0 {
+		t.Fatalf("fresh open: %+v", rec)
+	}
+	last := mustAppend(t, j, script())
+	if last != uint64(len(script())) {
+		t.Fatalf("last LSN = %d, want %d", last, len(script()))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(&Record{Kind: KindMachineUp, Time: 9}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+
+	j2, rec2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec2.Fresh || rec2.Records != len(script()) || rec2.LastLSN != last ||
+		rec2.TornBytes != 0 || !rec2.Epoch.Equal(opts.Epoch) {
+		t.Fatalf("reopen: %+v", rec2)
+	}
+	checkScriptState(t, rec2.State)
+
+	// New appends continue the LSN sequence.
+	lsn, err := j2.Append(&Record{Kind: KindMachineUp, Time: 9, Machine: 0})
+	if err != nil || lsn != last+1 {
+		t.Fatalf("append after reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	opts := testOptions(t)
+	j, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, script())
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop bytes off the final record.
+	segs, err := listSegments(opts.Dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	path := filepath.Join(opts.Dir, segName(segs[len(segs)-1]))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec.TornBytes == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	if rec.Records != len(script())-1 || rec.LastLSN != uint64(len(script())-1) {
+		t.Fatalf("recovered %d records, last LSN %d", rec.Records, rec.LastLSN)
+	}
+	// The WorkerSeen record was lost; everything before it survived.
+	if rec.State.MaxTime != 7 || rec.State.Workers[0].LastSeen != 2 {
+		t.Fatalf("state after torn tail: MaxTime=%v workers=%+v",
+			rec.State.MaxTime, rec.State.Workers)
+	}
+}
+
+func TestTrailingGarbageTruncated(t *testing.T) {
+	opts := testOptions(t)
+	j, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, script())
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(opts.Dir)
+	path := filepath.Join(opts.Dir, segName(segs[len(segs)-1]))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage after the last frame")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec.TornBytes == 0 || rec.Records != len(script()) {
+		t.Fatalf("rec = %+v", rec)
+	}
+	checkScriptState(t, rec.State)
+}
+
+func TestMidLogCorruptionRefused(t *testing.T) {
+	opts := testOptions(t)
+	opts.SegmentBytes = 64   // rotate after every couple of records
+	opts.Fsync = FsyncAlways // WaitDurable forces one flush per record
+	j, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range script() {
+		lsn, err := j.Append(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(opts.Dir)
+	if len(segs) < 3 {
+		t.Fatalf("wanted multiple segments, got %v", segs)
+	}
+
+	// Flip a payload byte in the first segment: corruption before the log
+	// tail must refuse recovery rather than silently drop records.
+	path := filepath.Join(opts.Dir, segName(segs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(opts); err == nil {
+		t.Fatal("Open accepted mid-log corruption")
+	}
+}
+
+func TestSnapshotRecoveryAndPruning(t *testing.T) {
+	opts := testOptions(t)
+	opts.SegmentBytes = 64
+	opts.Fsync = FsyncAlways // WaitDurable forces one flush per record
+	j, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := script()
+	cut := 5 // snapshot covers recs[:cut]
+	st := NewState()
+	var snapLSN uint64
+	for i := range recs {
+		lsn, err := j.Append(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Apply(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i == cut-1 {
+			st.Time = recs[i].Time
+			snapLSN = lsn
+			if err := j.WriteSnapshot(lsn, st); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotLSN != snapLSN {
+		t.Fatalf("recovered from snapshot %d, want %d", rec.SnapshotLSN, snapLSN)
+	}
+	if rec.Records != len(recs)-cut {
+		t.Fatalf("replayed %d records, want %d", rec.Records, len(recs)-cut)
+	}
+	checkScriptState(t, rec.State)
+
+	// A snapshot covering the whole log prunes every closed segment; only
+	// the active one survives.
+	extra := Record{Kind: KindMachineUp, Time: 9, Machine: 0}
+	lsn, err := j2.Append(&extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(&extra); err != nil {
+		t.Fatal(err)
+	}
+	st.Time = 9
+	if err := j2.WriteSnapshot(lsn, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(opts.Dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments after full-coverage snapshot: %v", segs)
+	}
+	snaps, _ := listSnapshots(opts.Dir)
+	if len(snaps) != 2 { // latest two are kept
+		t.Fatalf("snapshots kept: %v", snaps)
+	}
+	m := j2.Metrics()
+	if m.Snapshots != 1 || m.LastSnapshotLSN != lsn {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// And recovery from the final snapshot alone reproduces the state.
+	_, rec2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.SnapshotLSN != lsn || rec2.Records != 0 {
+		t.Fatalf("final reopen: %+v", rec2)
+	}
+	if rec2.State.MaxTime != 9 || len(rec2.State.Sched.Bags) != 1 ||
+		rec2.State.Sched.TasksCompleted != 1 {
+		t.Fatalf("state from final snapshot: MaxTime=%v sched=%+v",
+			rec2.State.MaxTime, rec2.State.Sched)
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	opts := testOptions(t)
+	j, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := script()
+	last := mustAppend(t, j, recs)
+	st := NewState()
+	for i := range recs {
+		if err := st.Apply(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Time = 8
+	if err := j.WriteSnapshot(last, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(opts.Dir, snapName(last))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec.SnapshotsSkipped != 1 || rec.SnapshotLSN != 0 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	// Full log replay still reconstructs everything: the whole log sits in
+	// the active segment, which pruning never deletes.
+	checkScriptState(t, rec.State)
+}
+
+func TestFsyncModes(t *testing.T) {
+	for _, mode := range []FsyncMode{FsyncAlways, FsyncBatch, FsyncOff} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opts := testOptions(t)
+			opts.Fsync = mode
+			j, _, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustAppend(t, j, script())
+			m := j.Metrics()
+			if mode == FsyncOff && m.Fsyncs != 0 {
+				t.Fatalf("fsync=off performed %d fsyncs", m.Fsyncs)
+			}
+			if mode != FsyncOff && m.Fsyncs == 0 {
+				t.Fatalf("fsync=%v performed no fsyncs", mode)
+			}
+			if m.Appends != uint64(len(script())) {
+				t.Fatalf("appends = %d", m.Appends)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, rec, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Records != len(script()) {
+				t.Fatalf("recovered %d records", rec.Records)
+			}
+			checkScriptState(t, rec.State)
+		})
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	for _, s := range []string{"always", "batch", "off"} {
+		m, err := ParseFsyncMode(s)
+		if err != nil || m.String() != s {
+			t.Fatalf("ParseFsyncMode(%q) = %v, %v", s, m, err)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Fatal("ParseFsyncMode accepted garbage")
+	}
+}

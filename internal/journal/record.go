@@ -1,0 +1,329 @@
+// Package journal is the durability subsystem of the live work-dispatch
+// service: a write-ahead log of scheduler mutations plus periodic state
+// snapshots, replayed on startup to recover a crashed daemon's complete
+// scheduling state.
+//
+// The pieces, bottom-up:
+//
+//   - record.go: the binary record codec. One Record per scheduler
+//     mutation (internal/core's Mutation stream) or service event (worker
+//     registration, lease renewal).
+//   - segment.go: length-prefixed, CRC32-checked frames in numbered
+//     segment files; scanning truncates a torn final record.
+//   - journal.go: the append path with group-committed fsync, segment
+//     rotation, and startup recovery (latest snapshot + log tail replay).
+//   - snapshot.go: snapshot file format and the Young's-formula cadence
+//     that decides when to take one.
+//   - replay.go: the replay state machine that applies records to a plain
+//     data State, later promoted to a live scheduler by
+//     core.RestoreLiveScheduler.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"botgrid/internal/core"
+)
+
+// Kind enumerates journal record types. The first six mirror
+// core.MutationKind one-to-one; the worker records are service-level
+// events the scheduler does not see.
+type Kind uint8
+
+const (
+	// KindBagSubmitted journals core.MutBagSubmitted.
+	KindBagSubmitted Kind = 1
+	// KindReplicaStarted journals core.MutReplicaStarted — the grant of a
+	// replica lease to the worker owning the machine slot.
+	KindReplicaStarted Kind = 2
+	// KindTaskCompleted journals core.MutTaskCompleted (an accepted
+	// result; sibling replicas are implicitly superseded).
+	KindTaskCompleted Kind = 3
+	// KindBagCompleted journals core.MutBagCompleted.
+	KindBagCompleted Kind = 4
+	// KindMachineDown journals core.MutMachineDown (lease expiry or a
+	// worker-reported failure; any hosted replica is implicitly lost).
+	KindMachineDown Kind = 5
+	// KindMachineUp journals core.MutMachineUp.
+	KindMachineUp Kind = 6
+	// KindWorkerRegistered journals a worker's binding to a machine slot
+	// (or a power update for an existing binding).
+	KindWorkerRegistered Kind = 7
+	// KindWorkerSeen journals a coarsened lease renewal for the worker on
+	// a machine slot; recovery re-arms lease-expiry deadlines from it.
+	KindWorkerSeen Kind = 8
+
+	kindMax = KindWorkerSeen
+)
+
+// String names the record kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBagSubmitted:
+		return "bag-submitted"
+	case KindReplicaStarted:
+		return "replica-started"
+	case KindTaskCompleted:
+		return "task-completed"
+	case KindBagCompleted:
+		return "bag-completed"
+	case KindMachineDown:
+		return "machine-down"
+	case KindMachineUp:
+		return "machine-up"
+	case KindWorkerRegistered:
+		return "worker-registered"
+	case KindWorkerSeen:
+		return "worker-seen"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one journal entry. Fields beyond Kind and Time are populated
+// per kind; see the Kind constants. Works and Worker are borrowed on
+// encode and freshly allocated on decode.
+type Record struct {
+	Kind    Kind
+	Time    float64
+	Bag     int
+	Task    int
+	Machine int
+	Seq     uint64
+	Restart bool
+
+	// KindBagSubmitted only.
+	Granularity float64
+	Works       []float64
+
+	// KindWorkerRegistered only.
+	Worker string
+	Power  float64
+}
+
+// FromMutation converts a scheduler mutation into its journal record.
+func FromMutation(m core.Mutation) Record {
+	return Record{
+		Kind:        Kind(m.Kind), // kinds 1..6 match by construction
+		Time:        m.Time,
+		Bag:         m.Bag,
+		Task:        m.Task,
+		Machine:     m.Machine,
+		Seq:         m.Seq,
+		Restart:     m.Restart,
+		Granularity: m.Granularity,
+		Works:       m.Works,
+	}
+}
+
+// Decode limits: a record claiming more than these is rejected as corrupt
+// before any allocation is sized from attacker-controlled input.
+const (
+	maxWorks    = 1 << 24 // tasks per bag
+	maxWorkerID = 4096    // bytes in a worker ID
+)
+
+// ErrCorrupt reports an undecodable record payload.
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// EncodeRecord appends r's binary payload (without framing) to dst and
+// returns the extended slice. The layout is one kind byte, the time as
+// IEEE-754 bits, then kind-specific fields as uvarints and float bits.
+func EncodeRecord(dst []byte, r *Record) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = putF64(dst, r.Time)
+	switch r.Kind {
+	case KindBagSubmitted:
+		dst = binary.AppendUvarint(dst, uint64(r.Bag))
+		dst = putF64(dst, r.Granularity)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Works)))
+		for _, w := range r.Works {
+			dst = putF64(dst, w)
+		}
+	case KindReplicaStarted:
+		dst = binary.AppendUvarint(dst, uint64(r.Bag))
+		dst = binary.AppendUvarint(dst, uint64(r.Task))
+		dst = binary.AppendUvarint(dst, uint64(r.Machine))
+		dst = binary.AppendUvarint(dst, r.Seq)
+		dst = append(dst, b2u8(r.Restart))
+	case KindTaskCompleted:
+		dst = binary.AppendUvarint(dst, uint64(r.Bag))
+		dst = binary.AppendUvarint(dst, uint64(r.Task))
+		dst = binary.AppendUvarint(dst, r.Seq)
+	case KindBagCompleted:
+		dst = binary.AppendUvarint(dst, uint64(r.Bag))
+	case KindMachineDown, KindMachineUp, KindWorkerSeen:
+		dst = binary.AppendUvarint(dst, uint64(r.Machine))
+	case KindWorkerRegistered:
+		dst = binary.AppendUvarint(dst, uint64(r.Machine))
+		dst = putF64(dst, r.Power)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Worker)))
+		dst = append(dst, r.Worker...)
+	default:
+		panic(fmt.Sprintf("journal: encoding unknown record kind %d", r.Kind))
+	}
+	return dst
+}
+
+// DecodeRecord parses one record payload. It never panics: any malformed,
+// truncated or trailing-garbage input returns an error wrapping
+// ErrCorrupt.
+func DecodeRecord(data []byte) (Record, error) {
+	var r Record
+	d := decoder{data: data}
+	k := d.u8()
+	if d.err != nil {
+		return r, corrupt("empty payload")
+	}
+	r.Kind = Kind(k)
+	if r.Kind == 0 || r.Kind > kindMax {
+		return r, corrupt("unknown kind %d", k)
+	}
+	r.Time = d.f64()
+	switch r.Kind {
+	case KindBagSubmitted:
+		r.Bag = d.uint()
+		r.Granularity = d.f64()
+		if d.err == nil && !isFinite(r.Granularity) {
+			return r, corrupt("bad granularity %v", r.Granularity)
+		}
+		n := d.uint()
+		if d.err == nil {
+			if n == 0 || n > maxWorks {
+				return r, corrupt("bag with %d tasks", n)
+			}
+			if len(d.data)-d.off < 8*n {
+				return r, corrupt("works truncated")
+			}
+			r.Works = make([]float64, n)
+			for i := range r.Works {
+				w := d.f64()
+				if !isFinite(w) || w < 0 {
+					return r, corrupt("bad work %v", w)
+				}
+				r.Works[i] = w
+			}
+		}
+	case KindReplicaStarted:
+		r.Bag = d.uint()
+		r.Task = d.uint()
+		r.Machine = d.uint()
+		r.Seq = d.uvarint()
+		r.Restart = d.u8() != 0
+	case KindTaskCompleted:
+		r.Bag = d.uint()
+		r.Task = d.uint()
+		r.Seq = d.uvarint()
+	case KindBagCompleted:
+		r.Bag = d.uint()
+	case KindMachineDown, KindMachineUp, KindWorkerSeen:
+		r.Machine = d.uint()
+	case KindWorkerRegistered:
+		r.Machine = d.uint()
+		r.Power = d.f64()
+		if d.err == nil && (!isFinite(r.Power) || r.Power <= 0) {
+			// Machine powers must be positive; the restored grid rejects
+			// anything else.
+			return r, corrupt("bad power %v", r.Power)
+		}
+		n := d.uint()
+		if d.err == nil {
+			if n > maxWorkerID {
+				return r, corrupt("worker ID of %d bytes", n)
+			}
+			if len(d.data)-d.off < n {
+				return r, corrupt("worker ID truncated")
+			}
+			r.Worker = string(d.data[d.off : d.off+n])
+			d.off += n
+		}
+	}
+	if d.err != nil {
+		return r, d.err
+	}
+	if d.off != len(d.data) {
+		return r, corrupt("%d trailing bytes", len(d.data)-d.off)
+	}
+	if !isFinite(r.Time) || r.Time < 0 {
+		return r, corrupt("bad time %v", r.Time)
+	}
+	return r, nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// decoder is a cursor with sticky errors over a record payload.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off >= len(d.data) {
+		d.fail("truncated")
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil || len(d.data)-d.off < 8 {
+		d.fail("truncated")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// uint decodes a uvarint that must fit a non-negative int.
+func (d *decoder) uint() int {
+	v := d.uvarint()
+	if d.err == nil && v > math.MaxInt32 {
+		d.fail("value %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corrupt(format, args...)
+	}
+}
+
+func putF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,320 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"botgrid/internal/core"
+)
+
+// WorkerSnapshot is the durable state of one worker registration: the
+// binding of a worker ID to a grid machine slot, with the coarsened last
+// lease-renewal time recovery uses to re-arm expiry deadlines.
+type WorkerSnapshot struct {
+	ID       string  `json:"id"`
+	Machine  int     `json:"machine"`
+	Power    float64 `json:"power"`
+	LastSeen float64 `json:"last_seen"`
+}
+
+// CompletedBag archives a finished bag: the scheduler drops completed bags,
+// but the service keeps serving their final status after recovery.
+type CompletedBag struct {
+	ID          int     `json:"id"`
+	Arrival     float64 `json:"arrival"`
+	Granularity float64 `json:"granularity"`
+	DoneAt      float64 `json:"done_at"`
+	Tasks       int     `json:"tasks"`
+}
+
+// State is the full durable state of the dispatch service as plain data:
+// the scheduler snapshot plus the service-level worker table and completed
+// bag archive. Recovery replays journal records into a State, then the
+// service promotes Sched via core.RestoreLiveScheduler.
+type State struct {
+	// Time is the service clock when the snapshot was captured.
+	Time float64 `json:"time"`
+	// Sched is the scheduler's durable state.
+	Sched *core.SchedulerSnapshot `json:"sched"`
+	// Workers lists worker registrations in registration order.
+	Workers []WorkerSnapshot `json:"workers,omitempty"`
+	// Completed archives finished bags in completion order.
+	Completed []CompletedBag `json:"completed,omitempty"`
+	// Service is an opaque blob the service layer round-trips through
+	// snapshots (dispatch counters and the like); the journal does not
+	// interpret it.
+	Service json.RawMessage `json:"service,omitempty"`
+
+	// MaxTime is the largest event time seen across the snapshot and every
+	// replayed record; the recovered clock must not run behind it.
+	MaxTime float64 `json:"-"`
+}
+
+// NewState returns an empty pre-boot State.
+func NewState() *State {
+	return &State{Sched: &core.SchedulerSnapshot{}}
+}
+
+func (st *State) observe(t float64) {
+	if t > st.MaxTime {
+		st.MaxTime = t
+	}
+}
+
+// bag returns a pointer to the active bag with the given ID.
+func (st *State) bag(id int) (*core.BagSnapshot, error) {
+	for i := range st.Sched.Bags {
+		if st.Sched.Bags[i].ID == id {
+			return &st.Sched.Bags[i], nil
+		}
+	}
+	return nil, fmt.Errorf("journal: replay: unknown bag %d", id)
+}
+
+// Apply folds one journal record into the state. Errors mean the log
+// contradicts the state it is being replayed onto — corruption or a bug —
+// and recovery must stop.
+func (st *State) Apply(r *Record) error {
+	st.observe(r.Time)
+	switch r.Kind {
+	case KindBagSubmitted:
+		return st.applyBagSubmitted(r)
+	case KindReplicaStarted:
+		return st.applyReplicaStarted(r)
+	case KindTaskCompleted:
+		return st.applyTaskCompleted(r)
+	case KindBagCompleted:
+		return st.applyBagCompleted(r)
+	case KindMachineDown:
+		return st.applyMachineDown(r)
+	case KindMachineUp:
+		// Machine slots are not restored as up unless they hold a replica;
+		// the record exists for the audit trail only.
+		return nil
+	case KindWorkerRegistered:
+		return st.applyWorkerRegistered(r)
+	case KindWorkerSeen:
+		return st.applyWorkerSeen(r)
+	default:
+		return fmt.Errorf("journal: replay: unknown record kind %d", r.Kind)
+	}
+}
+
+func (st *State) applyBagSubmitted(r *Record) error {
+	s := st.Sched
+	if r.Bag != s.NextBagID {
+		return fmt.Errorf("journal: replay: bag %d submitted, expected %d", r.Bag, s.NextBagID)
+	}
+	bs := core.BagSnapshot{
+		ID:          r.Bag,
+		Arrival:     r.Time,
+		Granularity: r.Granularity,
+		FirstStart:  -1,
+		Tasks:       make([]core.TaskSnapshot, len(r.Works)),
+		Pending:     make([]int, len(r.Works)),
+	}
+	for i, w := range r.Works {
+		bs.Tasks[i] = core.TaskSnapshot{
+			Work:       w,
+			State:      core.TaskPending,
+			FirstStart: -1,
+			DoneAt:     -1,
+			IdleSince:  r.Time,
+		}
+		bs.Pending[i] = i
+	}
+	s.Bags = append(s.Bags, bs)
+	s.NextBagID = r.Bag + 1
+	s.Submitted++
+	return nil
+}
+
+func (st *State) applyReplicaStarted(r *Record) error {
+	s := st.Sched
+	b, err := st.bag(r.Bag)
+	if err != nil {
+		return err
+	}
+	if r.Task < 0 || r.Task >= len(b.Tasks) {
+		return fmt.Errorf("journal: replay: replica on task %d/%d out of range", r.Bag, r.Task)
+	}
+	t := &b.Tasks[r.Task]
+	switch t.State {
+	case core.TaskPending:
+		i := slices.Index(b.Pending, r.Task)
+		switch {
+		case i < 0:
+			return fmt.Errorf("journal: replay: pending task %d/%d not queued", r.Bag, r.Task)
+		case i == 0:
+			// Dispatch pops the queue front, so this is the overwhelmingly
+			// common case; re-slicing keeps replay linear in log length.
+			b.Pending = b.Pending[1:]
+		default:
+			b.Pending = slices.Delete(b.Pending, i, i+1)
+		}
+		t.IdleAccum += r.Time - t.IdleSince
+		t.State = core.TaskRunning
+		t.Restart = false
+		if t.FirstStart < 0 {
+			t.FirstStart = r.Time
+		}
+		if b.FirstStart < 0 {
+			b.FirstStart = r.Time
+		}
+	case core.TaskRunning:
+		// An additional replica of an already-running task.
+	default:
+		return fmt.Errorf("journal: replay: replica started on done task %d/%d", r.Bag, r.Task)
+	}
+	for _, rep := range s.Replicas {
+		if rep.Machine == r.Machine {
+			return fmt.Errorf("journal: replay: machine %d already busy at seq %d", r.Machine, r.Seq)
+		}
+	}
+	s.Replicas = append(s.Replicas, core.ReplicaSnapshot{
+		Seq: r.Seq, Bag: r.Bag, Task: r.Task, Machine: r.Machine, Started: r.Time,
+	})
+	if int(r.Seq) > s.ReplicasStarted {
+		s.ReplicasStarted = int(r.Seq)
+	}
+	return nil
+}
+
+// dropReplicas removes every replica of bag/task, returning how many.
+func (st *State) dropReplicas(bag, task int) int {
+	s := st.Sched
+	n := 0
+	for i := 0; i < len(s.Replicas); {
+		if s.Replicas[i].Bag == bag && s.Replicas[i].Task == task {
+			s.Replicas = slices.Delete(s.Replicas, i, i+1)
+			n++
+		} else {
+			i++
+		}
+	}
+	return n
+}
+
+func (st *State) applyTaskCompleted(r *Record) error {
+	b, err := st.bag(r.Bag)
+	if err != nil {
+		return err
+	}
+	if r.Task < 0 || r.Task >= len(b.Tasks) {
+		return fmt.Errorf("journal: replay: completion of task %d/%d out of range", r.Bag, r.Task)
+	}
+	t := &b.Tasks[r.Task]
+	if t.State != core.TaskRunning {
+		return fmt.Errorf("journal: replay: completion of %v task %d/%d", t.State, r.Bag, r.Task)
+	}
+	dropped := st.dropReplicas(r.Bag, r.Task)
+	if dropped == 0 {
+		return fmt.Errorf("journal: replay: completed task %d/%d had no replica", r.Bag, r.Task)
+	}
+	t.State = core.TaskDone
+	t.DoneAt = r.Time
+	st.Sched.TasksCompleted++
+	st.Sched.ReplicasKilled += dropped - 1
+	return nil
+}
+
+func (st *State) applyBagCompleted(r *Record) error {
+	b, err := st.bag(r.Bag)
+	if err != nil {
+		return err
+	}
+	for i := range b.Tasks {
+		if b.Tasks[i].State != core.TaskDone {
+			return fmt.Errorf("journal: replay: bag %d completed with task %d %v", r.Bag, i, b.Tasks[i].State)
+		}
+	}
+	st.Completed = append(st.Completed, CompletedBag{
+		ID:          b.ID,
+		Arrival:     b.Arrival,
+		Granularity: b.Granularity,
+		DoneAt:      r.Time,
+		Tasks:       len(b.Tasks),
+	})
+	s := st.Sched
+	for i := range s.Bags {
+		if s.Bags[i].ID == r.Bag {
+			s.Bags = slices.Delete(s.Bags, i, i+1)
+			break
+		}
+	}
+	s.Completed++
+	return nil
+}
+
+func (st *State) applyMachineDown(r *Record) error {
+	s := st.Sched
+	for i := range s.Replicas {
+		rep := s.Replicas[i]
+		if rep.Machine != r.Machine {
+			continue
+		}
+		s.Replicas = slices.Delete(s.Replicas, i, i+1)
+		s.Failures++
+		b, err := st.bag(rep.Bag)
+		if err != nil {
+			return err
+		}
+		t := &b.Tasks[rep.Task]
+		t.Failures++
+		still := false
+		for _, other := range s.Replicas {
+			if other.Bag == rep.Bag && other.Task == rep.Task {
+				still = true
+				break
+			}
+		}
+		if !still {
+			// Last replica lost: the task re-enters its bag's queue at the
+			// front (WQR-FT resubmission priority).
+			t.State = core.TaskPending
+			t.Restart = true
+			t.IdleSince = r.Time
+			b.Pending = slices.Insert(b.Pending, 0, rep.Task)
+		}
+		break
+	}
+	// A machine with no replica going down needs no state change.
+	return nil
+}
+
+func (st *State) applyWorkerRegistered(r *Record) error {
+	for i := range st.Workers {
+		if st.Workers[i].ID == r.Worker {
+			if st.Workers[i].Machine != r.Machine {
+				return fmt.Errorf("journal: replay: worker %q moved slot %d -> %d",
+					r.Worker, st.Workers[i].Machine, r.Machine)
+			}
+			st.Workers[i].Power = r.Power
+			st.Workers[i].LastSeen = r.Time
+			return nil
+		}
+	}
+	for i := range st.Workers {
+		if st.Workers[i].Machine == r.Machine {
+			return fmt.Errorf("journal: replay: slot %d taken by %q, claimed by %q",
+				r.Machine, st.Workers[i].ID, r.Worker)
+		}
+	}
+	st.Workers = append(st.Workers, WorkerSnapshot{
+		ID: r.Worker, Machine: r.Machine, Power: r.Power, LastSeen: r.Time,
+	})
+	return nil
+}
+
+func (st *State) applyWorkerSeen(r *Record) error {
+	for i := range st.Workers {
+		if st.Workers[i].Machine == r.Machine {
+			if r.Time > st.Workers[i].LastSeen {
+				st.Workers[i].LastSeen = r.Time
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("journal: replay: seen record for unregistered slot %d", r.Machine)
+}

@@ -1,0 +1,143 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment file layout:
+//
+//	header:  8-byte magic "BGWAL01\n" + uint64 LE first-LSN
+//	frames:  repeated [uint32 LE payload length][uint32 LE CRC32-IEEE][payload]
+//
+// Record N of a segment has LSN firstLSN+N. Frames carry no LSN of their
+// own: the log is strictly sequential, so position defines identity. A
+// frame that fails the length or CRC check in the *last* segment is a torn
+// tail from the crash — everything from it onward is dropped and the file
+// truncated. The same failure in an earlier segment means real corruption
+// and recovery refuses to proceed.
+
+const (
+	segMagic    = "BGWAL01\n"
+	segHeader   = len(segMagic) + 8
+	frameHeader = 8
+	// maxFramePayload bounds a single record frame; anything larger is
+	// treated as a corrupt length prefix rather than allocated.
+	maxFramePayload = 1 << 26
+)
+
+var crcTable = crc32.IEEETable
+
+// segName formats a segment filename from its first LSN.
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("%020d.wal", firstLSN)
+}
+
+// parseSegName extracts the first LSN from a segment filename.
+func parseSegName(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, ".wal")
+	if !ok || len(base) != 20 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment first-LSNs in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var firsts []uint64
+	for _, e := range ents {
+		if first, ok := parseSegName(e.Name()); ok {
+			firsts = append(firsts, first)
+		}
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	return firsts, nil
+}
+
+// appendFrame wraps payload into a frame and appends it to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// frameFill writes the frame header (length + CRC) for payload into hdr,
+// which must be frameHeader bytes.
+func frameFill(hdr, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+}
+
+// segmentHeader renders the 16-byte segment file header.
+func segmentHeader(firstLSN uint64) []byte {
+	h := make([]byte, 0, segHeader)
+	h = append(h, segMagic...)
+	return binary.LittleEndian.AppendUint64(h, firstLSN)
+}
+
+// scanResult summarizes one segment scan.
+type scanResult struct {
+	firstLSN uint64 // from the header
+	nextLSN  uint64 // LSN the next record would get
+	records  int    // valid records seen
+	goodSize int64  // file offset just past the last valid frame
+	torn     int64  // trailing bytes that failed validation (0 if clean)
+}
+
+// scanSegment reads the segment at path and calls fn for each valid record
+// payload in order. Validation stops at the first bad frame; the remainder
+// is reported as torn rather than failing the scan. Payload slices passed
+// to fn alias the file buffer and must not be retained.
+func scanSegment(path string, fn func(lsn uint64, payload []byte) error) (scanResult, error) {
+	var res scanResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if len(data) < segHeader || string(data[:len(segMagic)]) != segMagic {
+		return res, fmt.Errorf("journal: %s: bad segment header", filepath.Base(path))
+	}
+	res.firstLSN = binary.LittleEndian.Uint64(data[len(segMagic):])
+	res.nextLSN = res.firstLSN
+	off := int64(segHeader)
+	total := int64(len(data))
+	for off < total {
+		if total-off < frameHeader {
+			break
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length > maxFramePayload || total-off-frameHeader < length {
+			break
+		}
+		payload := data[off+frameHeader : off+frameHeader+length]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break
+		}
+		if fn != nil {
+			if err := fn(res.nextLSN, payload); err != nil {
+				return res, err
+			}
+		}
+		res.nextLSN++
+		res.records++
+		off += frameHeader + length
+	}
+	res.goodSize = off
+	res.torn = total - off
+	return res, nil
+}

@@ -1,0 +1,256 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"botgrid/internal/checkpoint"
+)
+
+// Snapshot file layout: 8-byte magic "BGSNAP1\n", uint64 LE LSN (the last
+// journal record the snapshot covers, echoing the filename), uint32 LE
+// payload length, uint32 LE CRC32-IEEE, then the JSON payload — a State.
+// Snapshots are written to a temp file, fsynced and renamed into place, so
+// a crash mid-snapshot leaves either the old set or a complete new file;
+// a torn temp file never carries the .snap name.
+
+const snapMagic = "BGSNAP1\n"
+
+func snapName(lsn uint64) string {
+	return fmt.Sprintf("%020d.snap", lsn)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, ".snap")
+	if !ok || len(base) != 20 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSnapshots returns the snapshot LSNs in dir, ascending.
+func listSnapshots(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lsns []uint64
+	for _, e := range ents {
+		if lsn, ok := parseSnapName(e.Name()); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	return lsns, nil
+}
+
+func encodeSnapshot(lsn uint64, st *State) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshal snapshot: %w", err)
+	}
+	buf := make([]byte, 0, len(snapMagic)+16+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	return append(buf, payload...), nil
+}
+
+// readSnapshot loads and validates the snapshot at path.
+func readSnapshot(path string, wantLSN uint64) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Base(path)
+	hdr := len(snapMagic) + 16
+	if len(data) < hdr || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("journal: %s: bad snapshot header", base)
+	}
+	lsn := binary.LittleEndian.Uint64(data[len(snapMagic):])
+	if lsn != wantLSN {
+		return nil, fmt.Errorf("journal: %s: header LSN %d != filename", base, lsn)
+	}
+	length := int(binary.LittleEndian.Uint32(data[len(snapMagic)+8:]))
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+12:])
+	if len(data)-hdr != length {
+		return nil, fmt.Errorf("journal: %s: payload %d bytes, header says %d", base, len(data)-hdr, length)
+	}
+	payload := data[hdr:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("journal: %s: snapshot checksum mismatch", base)
+	}
+	st := NewState()
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("journal: %s: %w", base, err)
+	}
+	if st.Sched == nil {
+		return nil, fmt.Errorf("journal: %s: snapshot missing scheduler state", base)
+	}
+	st.MaxTime = st.Time
+	return st, nil
+}
+
+// WriteSnapshot persists st as the snapshot covering everything up to and
+// including lsn, then prunes: segments whose records all fall at or below
+// lsn are deleted, as are all but the two most recent snapshots. Callers
+// must serialize WriteSnapshot calls (the service's snapshot loop is the
+// only caller while running; the final shutdown snapshot happens after the
+// loop stops).
+func (j *Journal) WriteSnapshot(lsn uint64, st *State) error {
+	buf, err := encodeSnapshot(lsn, st)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	tmp := filepath.Join(j.dir, "snap.tmp")
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName(lsn))); err != nil {
+		return err
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	cost := time.Since(start)
+
+	j.mu.Lock()
+	j.snapshots++
+	j.lastSnapLSN = lsn
+	j.lastSnapAt = time.Now()
+	j.snapAppends = j.appends
+	// EWMA of the measured snapshot cost feeds Young's formula.
+	c := cost.Seconds()
+	if j.snapCost == 0 {
+		j.snapCost = c
+	} else {
+		j.snapCost = 0.5*j.snapCost + 0.5*c
+	}
+	j.mu.Unlock()
+
+	j.prune(lsn)
+	return nil
+}
+
+// prune removes snapshots and fully-covered segments made obsolete by a
+// snapshot at lsn. Best-effort: pruning failures leave extra files behind
+// but never compromise recovery.
+func (j *Journal) prune(lsn uint64) {
+	if snaps, err := listSnapshots(j.dir); err == nil && len(snaps) > 2 {
+		for _, s := range snaps[:len(snaps)-2] {
+			os.Remove(filepath.Join(j.dir, snapName(s)))
+		}
+	}
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return
+	}
+	// Segment i covers [segs[i], segs[i+1]-1]; it is obsolete once every
+	// record is <= lsn. The last segment is open-ended and always kept.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1]-1 <= lsn {
+			os.Remove(filepath.Join(j.dir, segName(segs[i])))
+		}
+	}
+}
+
+// snapshotInterval returns the current Young's-formula snapshot interval
+// from the measured snapshot cost and the configured MTBF, clamped to
+// [minSnapInterval, maxSnapInterval].
+func (j *Journal) snapshotInterval() time.Duration {
+	j.mu.Lock()
+	cost := j.snapCost
+	j.mu.Unlock()
+	if cost <= 0 {
+		cost = 0.01 // pre-first-snapshot seed; replaced by measurement
+	}
+	tau := checkpoint.YoungInterval(cost, j.opts.SnapshotMTBF.Seconds())
+	iv := time.Duration(tau * float64(time.Second))
+	if iv < minSnapInterval {
+		iv = minSnapInterval
+	}
+	if iv > maxSnapInterval {
+		iv = maxSnapInterval
+	}
+	return iv
+}
+
+const (
+	minSnapInterval = time.Second
+	maxSnapInterval = 5 * time.Minute
+	snapPollEvery   = 250 * time.Millisecond
+)
+
+// SnapshotLoop takes snapshots until stop is closed. The cadence follows
+// Young's formula τ = sqrt(2·C·MTBF) with C the EWMA of measured snapshot
+// cost and MTBF the configured expected crash interval — the same
+// first-order optimum internal/checkpoint applies to task checkpoint
+// intervals, here balancing snapshot work against replay length after a
+// crash. Snapshots are skipped while the journal has no appends since the
+// last one. capture must return a consistent (State, last-LSN) pair.
+func (j *Journal) SnapshotLoop(stop <-chan struct{}, capture func() (*State, uint64)) {
+	tick := time.NewTicker(snapPollEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		j.mu.Lock()
+		due := j.appends > j.snapAppends
+		last := j.lastSnapAt
+		j.mu.Unlock()
+		if !due || time.Since(last) < j.snapshotInterval() {
+			continue
+		}
+		st, lsn := capture()
+		if err := j.WriteSnapshot(lsn, st); err != nil {
+			j.noteError(err)
+		}
+	}
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

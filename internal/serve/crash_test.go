@@ -1,0 +1,302 @@
+package serve
+
+// The crash-kill-restart integration test: a real botserved-like daemon
+// (helper process running this test binary) is SIGKILLed mid-traffic and
+// restarted on the same data directory. Recovery must lose no bag and no
+// acknowledged result, reject pre-crash replica tokens as stale, and the
+// paper's Figure-1 policy ranking must survive the crash.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/journal"
+)
+
+const (
+	crashWorkers = lvsWorkers // reuse the live-vs-sim fleet and workload
+	crashScale   = 2e-4       // 1 reference second = 200 µs of wall time
+	crashPower   = lvsPower
+)
+
+// TestCrashHelperProcess is not a test: it is the server side of
+// TestCrashRecoverySIGKILL, run in a child process (re-exec of this test
+// binary) so the parent can SIGKILL it like a real daemon crash. It prints
+// its listen address on stdout and serves until killed.
+func TestCrashHelperProcess(t *testing.T) {
+	if os.Getenv("BOTGRID_CRASH_HELPER") != "1" {
+		t.Skip("helper process for TestCrashRecoverySIGKILL")
+	}
+	k, err := core.ParsePolicy(os.Getenv("BOTGRID_CRASH_POLICY"))
+	if err != nil {
+		fmt.Printf("HELPER_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	s, err := NewServer(Config{
+		Policy:      k,
+		MaxWorkers:  crashWorkers,
+		WorkerPower: crashPower,
+		Lease:       30 * time.Second,
+		RetryMs:     1,
+		DataDir:     os.Getenv("BOTGRID_CRASH_DIR"),
+		Fsync:       journal.FsyncBatch,
+	})
+	if err != nil {
+		fmt.Printf("HELPER_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("HELPER_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	go http.Serve(ln, s)
+	fmt.Printf("HELPER_ADDR=%s\n", ln.Addr())
+	select {} // serve until SIGKILLed; deliberately no cleanup
+}
+
+// startHelper launches the helper daemon on dir and waits for its address.
+func startHelper(t *testing.T, dir string, k core.PolicyKind) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelperProcess$")
+	cmd.Env = append(os.Environ(),
+		"BOTGRID_CRASH_HELPER=1",
+		"BOTGRID_CRASH_DIR="+dir,
+		"BOTGRID_CRASH_POLICY="+k.String(),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "HELPER_ADDR="); ok {
+				addrc <- a
+			}
+		}
+	}()
+	select {
+	case a := <-addrc:
+		cmd.Args = append(cmd.Args, a) // stash the addr; helperAddr reads it
+		return cmd
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("helper process did not report an address")
+		return nil
+	}
+}
+
+func helperAddr(cmd *exec.Cmd) string { return cmd.Args[len(cmd.Args)-1] }
+
+// ackTracker counts AckOK done-reports — results the server acknowledged as
+// durable — and remembers the newest one's replica token.
+type ackTracker struct {
+	mu     sync.Mutex
+	done   int
+	worker string
+	seq    uint64
+}
+
+func (tr *ackTracker) note(worker string, seq uint64) {
+	tr.mu.Lock()
+	tr.done++
+	tr.worker = worker
+	tr.seq = seq
+	tr.mu.Unlock()
+}
+
+func (tr *ackTracker) snapshot() (int, string, uint64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.done, tr.worker, tr.seq
+}
+
+// resilientWorker is a SimWorker that survives server restarts: any request
+// error (connection refused during the outage) backs off and retries, and
+// an interrupted computation is simply refetched — the recovered server
+// hands back the same replica lease.
+func resilientWorker(ctx context.Context, cl *atomic.Pointer[Client], id string, tr *ackTracker) {
+	for ctx.Err() == nil {
+		resp, err := cl.Load().Fetch(id, crashPower)
+		if err != nil {
+			sleepCtx(ctx, 20*time.Millisecond)
+			continue
+		}
+		if !resp.Assigned {
+			sleepCtx(ctx, 2*time.Millisecond)
+			continue
+		}
+		a := resp.Assignment
+		if sleepCtx(ctx, time.Duration(a.Work/crashPower*crashScale*float64(time.Second))) != nil {
+			return
+		}
+		ack, err := cl.Load().Report(id, a.Replica, StatusDone)
+		if err != nil {
+			continue
+		}
+		if ack == AckOK {
+			tr.note(id, a.Replica)
+		}
+	}
+}
+
+// crashRun drives the live-vs-sim workload against a helper daemon, SIGKILLs
+// it once a third of the tasks are done, restarts it on the same data dir,
+// verifies nothing acknowledged was lost, and runs the workload to
+// completion. It returns the mean turnaround in reference seconds with the
+// measured outage subtracted (the outage is policy-independent downtime).
+func crashRun(t *testing.T, k core.PolicyKind, bots int, tasks int) float64 {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := startHelper(t, dir, k)
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	var cl atomic.Pointer[Client]
+	cl.Store(NewClient("http://" + helperAddr(cmd)))
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	tr := &ackTracker{}
+	var wg sync.WaitGroup
+	for i := 0; i < crashWorkers; i++ {
+		id := fmt.Sprintf("cw%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resilientWorker(ctx, &cl, id, tr)
+		}()
+	}
+	defer func() { cancel(); wg.Wait() }()
+
+	for _, b := range lvsBots() {
+		if _, err := cl.Load().Submit(b.Granularity, b.TaskWork); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Let the fleet chew through a third of the tasks, then pull the plug.
+	total := bots * tasks
+	var preKill StatsResponse
+	for {
+		st, err := cl.Load().Stats()
+		if err == nil {
+			preKill = st
+			if st.TasksCompleted*3 >= total {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("%s: never reached the kill point", k)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ackedAtKill, staleWorker, staleSeq := tr.snapshot()
+	if ackedAtKill == 0 {
+		t.Fatalf("%s: no acknowledged results before the kill", k)
+	}
+	killStart := time.Now()
+	cmd.Process.Kill() // SIGKILL: no drain, no final snapshot
+	cmd.Wait()
+	killed = true
+
+	cmd2 := startHelper(t, dir, k)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	outage := time.Since(killStart).Seconds() // wall = service seconds
+	cl.Store(NewClient("http://" + helperAddr(cmd2)))
+
+	// Zero lost bags, zero lost acknowledged results.
+	st, err := cl.Load().Stats()
+	if err != nil {
+		t.Fatalf("%s: stats after restart: %v", k, err)
+	}
+	if st.BagsSubmitted != bots || len(st.Bags) != bots {
+		t.Fatalf("%s: %d/%d bags survived the crash", k, st.BagsSubmitted, bots)
+	}
+	if st.TasksCompleted < ackedAtKill {
+		t.Fatalf("%s: %d tasks complete after recovery, but %d results were acknowledged",
+			k, st.TasksCompleted, ackedAtKill)
+	}
+	if st.Recovery == nil || st.Recovery.Fresh {
+		t.Fatalf("%s: restarted server reports no recovery: %+v", k, st.Recovery)
+	}
+	if st.Recovery.SnapshotLSN == 0 && st.Recovery.RecordsReplayed == 0 {
+		t.Fatalf("%s: recovery replayed nothing", k)
+	}
+	// A pre-crash completed replica's token must be rejected as stale.
+	if ack, err := cl.Load().Report(staleWorker, staleSeq, StatusDone); err != nil || ack != AckStale {
+		t.Fatalf("%s: pre-crash token re-report = %q, %v; want stale", k, ack, err)
+	}
+
+	for {
+		st, err = cl.Load().Stats()
+		if err == nil && st.BagsCompleted == bots {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("%s: workload did not finish after recovery: %+v", k, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sum := 0.0
+	for _, b := range st.Bags {
+		if !b.Completed {
+			t.Fatalf("%s: bag %d incomplete in final stats", k, b.Bag)
+		}
+		turn := b.Turnaround
+		if b.DoneAt > preKill.Now {
+			// The bag lived through the outage; subtract it so policies are
+			// compared on scheduling, not on process-restart wall time.
+			turn -= outage
+		}
+		sum += turn
+	}
+	return sum / float64(bots) / crashScale
+}
+
+// TestCrashRecoverySIGKILL is the acceptance test for the durability
+// subsystem: for each Figure-1 policy, SIGKILL the daemon mid-traffic,
+// recover from snapshot + log tail, verify zero loss and stale-token
+// rejection, finish the workload, and check the paper's policy ranking
+// (FCFS-Share and LongIdle beat RR) still holds across the crash.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-restart integration test")
+	}
+	policies := []core.PolicyKind{core.FCFSShare, core.LongIdle, core.RR}
+	mean := make(map[core.PolicyKind]float64)
+	for _, k := range policies {
+		mean[k] = crashRun(t, k, lvsBags, lvsTasks)
+		t.Logf("%-10s mean turnaround across crash %8.0f ref-s", k, mean[k])
+	}
+	if !(mean[core.FCFSShare] < mean[core.RR]) || !(mean[core.LongIdle] < mean[core.RR]) {
+		t.Fatalf("Figure-1 ranking lost across crash recovery: %+v", mean)
+	}
+}

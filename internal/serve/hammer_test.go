@@ -22,12 +22,15 @@ func TestConcurrentHammer(t *testing.T) {
 		numBags    = 16
 		bagTasks   = 75
 	)
-	srv := NewServer(Config{
+	srv, err := NewServer(Config{
 		Policy:     core.LongIdle,
 		MaxWorkers: numWorkers,
 		Lease:      10 * time.Second,
 		RetryMs:    1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -105,13 +108,16 @@ func TestConcurrentHammer(t *testing.T) {
 // Replication is disabled (threshold 1) so that expiry, not a WQR sibling
 // replica, is the only way a hostage task can finish.
 func TestCrashingWorkersStillDrain(t *testing.T) {
-	srv := NewServer(Config{
+	srv, err := NewServer(Config{
 		Policy:     core.FCFSShare,
 		MaxWorkers: 12,
 		Sched:      core.SchedConfig{Threshold: 1},
 		Lease:      300 * time.Millisecond,
 		RetryMs:    1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

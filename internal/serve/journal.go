@@ -1,0 +1,276 @@
+package serve
+
+// Journal glue: this file wires the durability subsystem (internal/journal)
+// into the dispatch server. The server journals every scheduler mutation
+// plus its own worker-table events, snapshots the complete state on the
+// journal's Young-formula cadence, and rebuilds everything from disk in
+// NewServer after a crash.
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/journal"
+)
+
+// RecoveryInfo summarizes what NewServer rebuilt from the journal at
+// startup. It is served verbatim on /v1/stats and /metrics so operators
+// can see how the last restart went.
+type RecoveryInfo struct {
+	// Fresh is true when the data directory was newly initialized (nothing
+	// to recover).
+	Fresh bool `json:"fresh"`
+	// SnapshotLSN is the snapshot recovery started from (0: full replay).
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// LastLSN is the newest valid journal record found.
+	LastLSN uint64 `json:"last_lsn"`
+	// RecordsReplayed counts log records applied on top of the snapshot.
+	RecordsReplayed int `json:"records_replayed"`
+	// SegmentsScanned counts log segments read.
+	SegmentsScanned int `json:"segments_scanned"`
+	// TornBytes is the half-written tail truncated from the log, if any.
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+	// SnapshotsSkipped counts corrupt snapshots ignored for older ones.
+	SnapshotsSkipped int `json:"snapshots_skipped,omitempty"`
+	// DurationSec is how long recovery took.
+	DurationSec float64 `json:"duration_sec"`
+	// Bags/CompletedBags/Workers/Replicas count the restored state:
+	// active bags, archived finished bags, worker registrations, and
+	// in-flight replica leases re-armed for their original workers.
+	Bags          int `json:"bags_restored"`
+	CompletedBags int `json:"completed_bags"`
+	Workers       int `json:"workers_restored"`
+	Replicas      int `json:"replicas_restored"`
+	// LeasesExpired counts workers whose lease deadline passed while the
+	// daemon was down; they were declared failed immediately at startup.
+	LeasesExpired int `json:"leases_expired_on_recovery"`
+}
+
+// Recovery returns the startup recovery summary, nil when the server runs
+// without a journal.
+func (s *Server) Recovery() *RecoveryInfo { return s.recov }
+
+// recoveredOrigin picks the wall-clock origin for a recovered timeline:
+// the journal's persisted epoch, shifted back if needed so the clock never
+// runs behind the newest replayed event time (host clock skew, a data dir
+// moved between machines).
+func recoveredOrigin(rec *journal.Recovered) time.Time {
+	origin := rec.Epoch
+	if rec.State != nil && rec.State.MaxTime > 0 {
+		latest := time.Now().Add(-time.Duration(rec.State.MaxTime * float64(time.Second)))
+		if origin.After(latest) {
+			origin = latest
+		}
+	}
+	return origin
+}
+
+// restore rebuilds the server's entire mutable state from a recovered
+// journal. Runs during NewServer, before any request can arrive.
+func (s *Server) restore(rec *journal.Recovered, pol core.Policy) error {
+	st := rec.State
+	now := s.clock.Now()
+	if now < st.MaxTime {
+		return fmt.Errorf("clock %.3f runs behind journaled time %.3f", now, st.MaxTime)
+	}
+	// Machines hosting a recovered replica come back up before promotion:
+	// their lease is still live and the worker may still report the result.
+	for _, rs := range st.Sched.Replicas {
+		if rs.Machine < 0 || rs.Machine >= len(s.g.Machines) {
+			return fmt.Errorf("replica on machine %d of %d (MaxWorkers shrank?)",
+				rs.Machine, len(s.g.Machines))
+		}
+		if m := s.g.Machines[rs.Machine]; !m.Up() {
+			m.ForceRepair(now)
+		}
+	}
+	sched, err := core.RestoreLiveScheduler(s.clock, s.g, pol, s.cfg.Sched, s.cfg.Observer, st.Sched)
+	if err != nil {
+		return err
+	}
+	s.sched = sched
+	for i, wsnap := range st.Workers {
+		// Registration order assigns slots sequentially, so slot i belongs
+		// to the i-th registered worker; anything else means the journal
+		// was written under a different worker-table scheme.
+		if wsnap.Machine != i || wsnap.Machine >= len(s.g.Machines) {
+			return fmt.Errorf("worker %q on slot %d of %d (MaxWorkers changed?)",
+				wsnap.ID, wsnap.Machine, len(s.g.Machines))
+		}
+		s.workers[wsnap.ID] = &workerState{
+			id:         wsnap.ID,
+			m:          s.g.Machines[wsnap.Machine],
+			power:      wsnap.Power,
+			lastSeen:   wsnap.LastSeen,
+			lastLogged: wsnap.LastSeen,
+		}
+	}
+	s.completed = slices.Clone(st.Completed)
+	for _, cb := range st.Completed {
+		s.doneBags[cb.ID] = BagStatus{
+			Bag:         cb.ID,
+			Granularity: cb.Granularity,
+			Tasks:       cb.Tasks,
+			Done:        cb.Tasks,
+			Completed:   true,
+			Arrival:     cb.Arrival,
+			DoneAt:      cb.DoneAt,
+			Turnaround:  cb.DoneAt - cb.Arrival,
+		}
+		s.bagIDs = append(s.bagIDs, cb.ID)
+	}
+	for _, b := range sched.Bags() {
+		s.bags[b.ID] = b
+		s.bagIDs = append(s.bagIDs, b.ID)
+	}
+	slices.Sort(s.bagIDs) // bag IDs are issued in submission order
+	if len(st.Service) > 0 {
+		// Dispatch counters ride along in the snapshot's opaque service
+		// blob; best-effort — stats continuity never blocks recovery.
+		json.Unmarshal(st.Service, &s.met)
+	}
+	s.lastLSN = rec.LastLSN
+	s.recov = &RecoveryInfo{
+		Fresh:            rec.Fresh,
+		SnapshotLSN:      rec.SnapshotLSN,
+		LastLSN:          rec.LastLSN,
+		RecordsReplayed:  rec.Records,
+		SegmentsScanned:  rec.SegmentsScanned,
+		TornBytes:        rec.TornBytes,
+		SnapshotsSkipped: rec.SnapshotsSkipped,
+		DurationSec:      rec.Elapsed.Seconds(),
+		Bags:             len(s.bags),
+		CompletedBags:    len(st.Completed),
+		Workers:          len(s.workers),
+		Replicas:         len(st.Sched.Replicas),
+	}
+	return nil
+}
+
+// journalMutation is the scheduler's mutation sink: every state transition
+// becomes one journal record. Runs synchronously under mu, inside the
+// scheduler call that caused the mutation.
+func (s *Server) journalMutation(m core.Mutation) {
+	if m.Kind == core.MutBagCompleted {
+		// The scheduler drops completed bags; archive the final status
+		// first so it survives both this process and restarts.
+		if b, ok := s.bags[m.Bag]; ok {
+			s.completed = append(s.completed, journal.CompletedBag{
+				ID:          b.ID,
+				Arrival:     b.Arrival,
+				Granularity: b.Granularity,
+				DoneAt:      b.DoneAt,
+				Tasks:       len(b.Tasks),
+			})
+			s.doneBags[m.Bag] = bagStatus(b)
+			delete(s.bags, m.Bag)
+		}
+	}
+	r := journal.FromMutation(m)
+	s.appendRec(&r)
+}
+
+// journalWorker records a worker's slot binding (or power change). Must be
+// called with mu held; no-op without a journal.
+func (s *Server) journalWorker(ws *workerState) {
+	if s.jnl == nil {
+		return
+	}
+	now := s.clock.Now()
+	ws.lastLogged = now
+	s.appendRec(&journal.Record{
+		Kind:    journal.KindWorkerRegistered,
+		Time:    now,
+		Machine: ws.m.ID,
+		Worker:  ws.id,
+		Power:   ws.power,
+	})
+}
+
+// touch marks the worker alive now, journaling a coarsened WorkerSeen
+// record at most every seenQuant seconds so recovered lease deadlines are
+// accurate without heartbeats dominating the log. Must be called with mu
+// held; returns the current time.
+func (s *Server) touch(ws *workerState) float64 {
+	now := s.clock.Now()
+	ws.lastSeen = now
+	if s.jnl != nil && now-ws.lastLogged >= s.seenQuant {
+		ws.lastLogged = now
+		s.appendRec(&journal.Record{Kind: journal.KindWorkerSeen, Time: now, Machine: ws.m.ID})
+	}
+	return now
+}
+
+// appendRec appends one record, tracking the newest LSN covering the
+// server's state. Append errors are not surfaced here — the journal holds
+// its first fatal error and waitDurable reports it to the requests that
+// need durability. Must be called with mu held.
+func (s *Server) appendRec(r *journal.Record) {
+	if lsn, err := s.jnl.Append(r); err == nil {
+		s.lastLSN = lsn
+	}
+}
+
+// waitDurable blocks until record lsn is on disk per the journal's fsync
+// mode. Called after releasing mu, before acknowledging a request whose
+// effect must survive a crash. No-op without a journal.
+func (s *Server) waitDurable(lsn uint64) error {
+	if s.jnl == nil {
+		return nil
+	}
+	return s.jnl.WaitDurable(lsn)
+}
+
+// captureState snapshots the complete service state for the journal's
+// snapshot loop.
+func (s *Server) captureState() (*journal.State, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.captureStateLocked()
+}
+
+// captureStateLocked builds the durable State and the LSN it covers: all
+// journaling happens under mu, so lastLSN is exactly the newest record
+// reflected in the captured state. Must be called with mu held.
+func (s *Server) captureStateLocked() (*journal.State, uint64) {
+	st := &journal.State{
+		Time:      s.clock.Now(),
+		Sched:     s.sched.SnapshotState(),
+		Workers:   make([]journal.WorkerSnapshot, 0, len(s.workers)),
+		Completed: slices.Clone(s.completed),
+	}
+	for _, ws := range s.workers {
+		st.Workers = append(st.Workers, journal.WorkerSnapshot{
+			ID:       ws.id,
+			Machine:  ws.m.ID,
+			Power:    ws.power,
+			LastSeen: ws.lastSeen,
+		})
+	}
+	// Slot order == registration order; restore depends on it.
+	slices.SortFunc(st.Workers, func(a, b journal.WorkerSnapshot) int { return a.Machine - b.Machine })
+	if blob, err := json.Marshal(s.met); err == nil {
+		st.Service = blob
+	}
+	return st, s.lastLSN
+}
+
+// finalize writes the shutdown snapshot and closes the journal: the next
+// start recovers from the snapshot alone, with zero log replay.
+func (s *Server) finalize() error {
+	if s.jnl == nil {
+		return nil
+	}
+	s.mu.Lock()
+	st, lsn := s.captureStateLocked()
+	s.mu.Unlock()
+	snapErr := s.jnl.WriteSnapshot(lsn, st)
+	closeErr := s.jnl.Close()
+	if snapErr != nil {
+		return fmt.Errorf("final snapshot: %w", snapErr)
+	}
+	return closeErr
+}

@@ -69,13 +69,16 @@ func simMeanTurnaround(t *testing.T, k core.PolicyKind, bots []*workload.BoT) fl
 // seconds (wall seconds divided by timeScale) for comparability.
 func liveMeanTurnaround(t *testing.T, k core.PolicyKind, bots []*workload.BoT) float64 {
 	t.Helper()
-	srv := NewServer(Config{
+	srv, err := NewServer(Config{
 		Policy:      k,
 		MaxWorkers:  lvsWorkers,
 		WorkerPower: lvsPower,
 		Lease:       10 * time.Second,
 		RetryMs:     1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

@@ -16,6 +16,8 @@ package serve
 // machine failure: its replica is killed and the task resubmitted at the
 // front of its bag's queue (WQR-FT semantics).
 
+import "botgrid/internal/journal"
+
 // SubmitRequest enters a new bag. Works are per-task durations on the
 // reference machine (power 1), in seconds — the same unit the simulator
 // uses.
@@ -132,4 +134,10 @@ type StatsResponse struct {
 	StaleReports    int          `json:"stale_reports"`
 	Bags            []BagStatus  `json:"bags"`
 	DecisionLatency LatencySummary `json:"decision_latency"`
+
+	// Journal and Recovery report the durability subsystem: journal
+	// counters and the last startup's recovery summary. Absent when the
+	// server runs without -data-dir.
+	Journal  *journal.Metrics `json:"journal,omitempty"`
+	Recovery *RecoveryInfo    `json:"recovery,omitempty"`
 }

@@ -24,6 +24,7 @@ import (
 
 	"botgrid/internal/core"
 	"botgrid/internal/grid"
+	"botgrid/internal/journal"
 	"botgrid/internal/rng"
 )
 
@@ -54,8 +55,22 @@ type Config struct {
 	// server.
 	Observer core.Observer
 	// Clock overrides the time source (tests); nil means a WallClock
-	// started at NewServer.
+	// started at NewServer — or, with DataDir set, at the journal's
+	// persisted epoch, so the recovered timeline continues across
+	// restarts.
 	Clock core.Clock
+
+	// DataDir enables the durability journal: every scheduler state
+	// mutation is written ahead to a log under this directory, periodic
+	// snapshots bound replay, and NewServer recovers the complete
+	// pre-crash state from it. Empty runs the server purely in memory.
+	DataDir string
+	// Fsync selects the journal's durability mode (zero value: batch —
+	// group-committed fsync). Ignored without DataDir.
+	Fsync journal.FsyncMode
+	// SnapshotMTBF is the expected crash interval fed to Young's formula
+	// for the snapshot cadence (default 10min). Ignored without DataDir.
+	SnapshotMTBF time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -79,10 +94,11 @@ func (c Config) withDefaults() Config {
 
 // workerState tracks one registered worker.
 type workerState struct {
-	id       string
-	m        *grid.Machine
-	power    float64
-	lastSeen float64 // server-clock seconds of the last fetch/report/heartbeat
+	id         string
+	m          *grid.Machine
+	power      float64
+	lastSeen   float64 // server-clock seconds of the last fetch/report/heartbeat
+	lastLogged float64 // lastSeen value most recently journaled (coarsened)
 }
 
 // Server is the live work-dispatch service. It implements http.Handler.
@@ -99,22 +115,56 @@ type Server struct {
 	g        *grid.Grid
 	sched    *core.Scheduler
 	workers  map[string]*workerState
-	bags     map[int]*core.Bag // every submitted bag by ID, completed included
-	bagIDs   []int             // submission order
+	bags     map[int]*core.Bag // live bags by ID; bags finished pre-recovery are only in doneBags
+	bagIDs   []int             // submission order, completed included
 	doneBags map[int]BagStatus // frozen snapshots; a completed bag never changes
 	met      counters
 
-	stop chan struct{}
-	done chan struct{}
+	// Journal state (all nil/zero when cfg.DataDir is empty).
+	jnl       *journal.Journal
+	lastLSN   uint64                 // LSN of the newest record covering current state
+	completed []journal.CompletedBag // durable record of finished bags
+	recov     *RecoveryInfo
+	seenQuant float64 // min seconds between journaled WorkerSeen per worker
+
+	stopOnce  sync.Once
+	finalOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+	snapDone  chan struct{}
 }
 
 // NewServer builds a server and, when cfg.Lease > 0, starts the lease
-// sweeper goroutine. Call Close to stop it.
-func NewServer(cfg Config) *Server {
+// sweeper goroutine. With cfg.DataDir set it first recovers all state from
+// the journal found there (or initializes a fresh one) and starts the
+// snapshot loop. Call Close to stop the background work — and, when
+// journaling, to write the final snapshot.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+
+	var (
+		jnl *journal.Journal
+		rec *journal.Recovered
+	)
+	if cfg.DataDir != "" {
+		var err error
+		jnl, rec, err = journal.Open(journal.Options{
+			Dir:          cfg.DataDir,
+			Fsync:        cfg.Fsync,
+			SnapshotMTBF: cfg.SnapshotMTBF,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	clock := cfg.Clock
 	if clock == nil {
-		clock = core.NewWallClock()
+		if rec != nil {
+			clock = core.NewWallClockAt(recoveredOrigin(rec))
+		} else {
+			clock = core.NewWallClock()
+		}
 	}
 	powers := make([]float64, cfg.MaxWorkers)
 	for i := range powers {
@@ -127,17 +177,34 @@ func NewServer(cfg Config) *Server {
 	}
 	pol := core.NewPolicy(cfg.Policy, rng.Root(cfg.Seed, "policy"))
 	s := &Server{
-		cfg:     cfg,
-		clock:   clock,
-		mux:     http.NewServeMux(),
-		decLat:  NewLatencyRecorder(0),
-		g:       g,
-		sched:   core.NewLiveScheduler(clock, g, pol, cfg.Sched, cfg.Observer),
+		cfg:      cfg,
+		clock:    clock,
+		mux:      http.NewServeMux(),
+		decLat:   NewLatencyRecorder(0),
+		g:        g,
 		workers:  make(map[string]*workerState),
 		bags:     make(map[int]*core.Bag),
 		doneBags: make(map[int]BagStatus),
+		jnl:      jnl,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		snapDone: make(chan struct{}),
+	}
+	if jnl != nil {
+		// Coarsen journaled lease renewals to an eighth of the lease: fine
+		// enough that recovered expiry deadlines are within tolerance,
+		// coarse enough that heartbeats don't dominate the log.
+		s.seenQuant = s.cfg.Lease.Seconds() / 8
+		if s.seenQuant <= 0 {
+			s.seenQuant = 1
+		}
+		if err := s.restore(rec, pol); err != nil {
+			jnl.Close()
+			return nil, fmt.Errorf("recovering %s: %w", cfg.DataDir, err)
+		}
+		s.sched.SetMutationSink(s.journalMutation)
+	} else {
+		s.sched = core.NewLiveScheduler(clock, g, pol, cfg.Sched, cfg.Observer)
 	}
 	s.mux.HandleFunc("POST /v1/bags", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/bags/{id}", s.handleBag)
@@ -146,26 +213,42 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleHeartbeat)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if jnl != nil && !rec.Fresh && cfg.Lease > 0 {
+		// Leases whose deadline passed while the daemon was down expire
+		// right now, before any worker traffic: the paper's machine
+		// failure, not a silent zombie replica.
+		s.recov.LeasesExpired = s.ExpireLeases()
+	}
 	if cfg.Lease > 0 {
 		go s.sweep()
 	} else {
 		close(s.done)
 	}
-	return s
+	if jnl != nil {
+		go func() {
+			defer close(s.snapDone)
+			jnl.SnapshotLoop(s.stop, s.captureState)
+		}()
+	} else {
+		close(s.snapDone)
+	}
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the lease sweeper. The handler stays usable (requests still
-// work); only background expiry ends.
-func (s *Server) Close() {
-	select {
-	case <-s.stop:
-	default:
-		close(s.stop)
-	}
+// Close stops the background goroutines and, when journaling, writes a
+// final snapshot and closes the journal so the next start recovers with
+// zero replay. The HTTP handler stays usable for in-memory servers; a
+// journaled server must not serve requests after Close.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
+	<-s.snapDone
+	var err error
+	s.finalOnce.Do(func() { err = s.finalize() })
+	return err
 }
 
 // sweep expires leases every quarter lease.
@@ -220,6 +303,7 @@ func (s *Server) worker(id string) (*workerState, error) {
 	}
 	w := &workerState{id: id, m: s.g.Machines[slot], power: s.cfg.WorkerPower}
 	s.workers[id] = w
+	s.journalWorker(w)
 	return w, nil
 }
 
@@ -254,8 +338,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.bags[b.ID] = b
 	s.bagIDs = append(s.bagIDs, b.ID)
 	s.met.Submits++
+	wait := s.lastLSN
 	s.mu.Unlock()
 	s.decLat.Observe(time.Since(start))
+	// An accepted submission must survive a crash: block until the journal
+	// record is on disk (a no-op without journaling or with fsync=off).
+	if err := s.waitDurable(wait); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, SubmitResponse{Bag: b.ID, Tasks: len(b.Tasks)})
 }
 
@@ -266,11 +357,7 @@ func (s *Server) handleBag(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	b, ok := s.bags[id]
-	var st BagStatus
-	if ok {
-		st = s.bagStatusCached(id, b)
-	}
+	st, ok := s.bagStatusByID(id)
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown bag")
@@ -279,18 +366,23 @@ func (s *Server) handleBag(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// bagStatusCached returns the bag's status, serving completed bags from the
+// bagStatusByID returns the bag's status, serving completed bags from the
 // frozen-snapshot cache (a completed bag never changes, so its snapshot is
-// computed at most once). Must be called with mu held.
-func (s *Server) bagStatusCached(id int, b *core.Bag) BagStatus {
+// computed at most once; bags finished before a recovery only exist
+// there). Must be called with mu held.
+func (s *Server) bagStatusByID(id int) (BagStatus, bool) {
 	if bs, ok := s.doneBags[id]; ok {
-		return bs
+		return bs, true
+	}
+	b, ok := s.bags[id]
+	if !ok {
+		return BagStatus{}, false
 	}
 	bs := bagStatus(b)
 	if bs.Completed {
 		s.doneBags[id] = bs
 	}
-	return bs
+	return bs, true
 }
 
 // bagStatus snapshots b. Must be called with mu held.
@@ -325,10 +417,11 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	if req.Power > 0 {
+	if req.Power > 0 && req.Power != ws.power {
 		ws.power = req.Power
+		s.journalWorker(ws)
 	}
-	ws.lastSeen = s.clock.Now()
+	s.touch(ws)
 	s.revive(ws)
 	rep := s.sched.ReplicaOn(ws.m)
 	var resp FetchResponse
@@ -368,8 +461,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown worker")
 		return
 	}
-	now := s.clock.Now()
-	ws.lastSeen = now
+	now := s.touch(ws)
 	ack := AckStale
 	if !ws.m.Up() {
 		// The lease expired mid-computation: the replica is already
@@ -393,8 +485,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if ack == AckStale {
 		s.met.StaleReports++
 	}
+	wait := s.lastLSN
 	s.mu.Unlock()
 	s.decLat.Observe(time.Since(start))
+	if ack == AckOK {
+		// An acked result must survive a crash — the worker will discard
+		// its copy on AckOK. Stale reports changed nothing; don't wait.
+		if err := s.waitDurable(wait); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, ReportResponse{Ack: ack})
 }
 
@@ -411,7 +512,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown worker")
 		return
 	}
-	ws.lastSeen = s.clock.Now()
+	s.touch(ws)
 	ack := AckStale
 	if ws.m.Up() {
 		if rep := s.sched.ReplicaOn(ws.m); rep != nil && rep.Seq == req.Replica {
@@ -461,7 +562,14 @@ func (s *Server) statsLocked() StatsResponse {
 	}
 	st.Bags = make([]BagStatus, 0, len(s.bagIDs))
 	for _, id := range s.bagIDs {
-		st.Bags = append(st.Bags, s.bagStatusCached(id, s.bags[id]))
+		if bs, ok := s.bagStatusByID(id); ok {
+			st.Bags = append(st.Bags, bs)
+		}
+	}
+	if s.jnl != nil {
+		m := s.jnl.Metrics()
+		st.Journal = &m
+		st.Recovery = s.recov
 	}
 	return st
 }
@@ -476,12 +584,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			FreeWorkers     int `json:"free_workers"`
 			ActiveBags      int `json:"active_bags"`
 		} `json:"gauges"`
-		DecisionLatency LatencySummary `json:"decision_latency"`
+		Journal         *journal.Metrics `json:"journal,omitempty"`
+		Recovery        *RecoveryInfo    `json:"recovery,omitempty"`
+		DecisionLatency LatencySummary   `json:"decision_latency"`
 	}{Counters: s.met}
 	doc.Gauges.PendingTasks = s.sched.PendingTasks()
 	doc.Gauges.RunningReplicas = s.sched.RunningReplicas()
 	doc.Gauges.FreeWorkers = s.sched.FreeMachines()
 	doc.Gauges.ActiveBags = len(s.sched.Bags())
+	if s.jnl != nil {
+		m := s.jnl.Metrics()
+		doc.Journal = &m
+		doc.Recovery = s.recov
+	}
 	s.mu.Unlock()
 	doc.DecisionLatency = s.decLat.Summary()
 	writeJSON(w, http.StatusOK, doc)

@@ -36,7 +36,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *Client, *fakeClock) {
 	if cfg.Lease == 0 {
 		cfg.Lease = 10 * time.Second
 	}
-	s := NewServer(cfg)
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, NewClient(ts.URL), clk
