@@ -4,6 +4,9 @@
 #   make test    run the full test suite
 #   make race    run the full suite under the race detector
 #   make vet     static checks
+#   make lint    botlint, the in-tree analysis suite: determinism, lock
+#                discipline, hot-path hygiene and error strictness
+#                (see DESIGN.md "Static guarantees")
 #   make bench   dispatch-decision, DES event-loop and journal
 #                (append + recovery-replay) micro-benchmarks, recorded to
 #                BENCH_sched.json; fails if any dispatch-decision
@@ -13,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench check clean
+.PHONY: all build test race vet lint bench check clean
 
 all: check
 
@@ -29,6 +32,9 @@ race:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/botlint ./...
+
 bench:
 	@{ $(GO) test -bench BenchmarkDispatchDecision -benchmem -run '^$$' ./internal/core/ && \
 	   $(GO) test -bench 'BenchmarkEventLoop|BenchmarkScheduleCancel' -benchmem -run '^$$' ./internal/des/ && \
@@ -38,7 +44,7 @@ bench:
 	@rm -f bench.out
 	@echo "wrote BENCH_sched.json"
 
-check: build vet test race
+check: build vet lint test race
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,76 @@
+// Command botlint runs the repo's custom static-analysis suite (see
+// internal/analysislint) over every package of the module and reports
+// violations of the determinism, lock-discipline, hot-path and
+// error-strictness invariants as `file:line: [rule] message`.
+//
+// Usage:
+//
+//	go run ./cmd/botlint ./...
+//
+// The package pattern argument is accepted for familiarity but the tool
+// always analyzes the whole module containing the working directory.
+// Applied suppressions (//botlint:ignore rule -- reason) are listed with
+// their reasons. Exit status: 0 clean, 1 unsuppressed findings, 2 the tree
+// failed to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"botgrid/internal/analysislint"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the applied-suppressions listing")
+	rules := flag.Bool("rules", false, "print the rule reference and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, r := range analysislint.Rules {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	if err := run(*quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "botlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(quiet bool) error {
+	root, err := analysislint.FindModuleRoot(".")
+	if err != nil {
+		return err
+	}
+	m, err := analysislint.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	res := analysislint.Run(m, analysislint.DefaultConfig(m.Path))
+
+	rel := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return name
+	}
+	for _, d := range res.Findings {
+		fmt.Printf("%s:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Rule, d.Msg)
+	}
+	if !quiet {
+		for _, s := range res.Suppressed {
+			fmt.Printf("%s:%d: suppressed [%s]: %s\n", rel(s.Pos.Filename), s.Pos.Line, s.Rule, s.Reason)
+		}
+	}
+	fmt.Printf("botlint: %d packages, %d findings, %d suppressed\n",
+		len(m.Pkgs), len(res.Findings), len(res.Suppressed))
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

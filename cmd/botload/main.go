@@ -192,4 +192,6 @@ func report(w io.Writer, o options, st serve.StatsResponse, rtt serve.LatencySum
 }
 
 // ms formats a latency expressed in seconds.
-func ms(s float64) string { return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String() }
+func ms(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

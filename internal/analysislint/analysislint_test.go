@@ -1,0 +1,255 @@
+package analysislint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads the named testdata/src packages as import paths
+// "fix/<name>".
+func loadFixture(t *testing.T, names ...string) *Module {
+	t.Helper()
+	dirs := make(map[string]string, len(names))
+	for _, n := range names {
+		dirs["fix/"+n] = filepath.Join("testdata", "src", n)
+	}
+	m, err := LoadDirs(dirs)
+	if err != nil {
+		t.Fatalf("loading fixture %v: %v", names, err)
+	}
+	return m
+}
+
+// wantMarkers scans the loaded fixture sources for `// want rule [rule...]`
+// trailing comments and returns the expected findings as "file:line:rule"
+// strings (one entry per rule listed on the marker).
+func wantMarkers(t *testing.T, m *Module) []string {
+	t.Helper()
+	var want []string
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					for _, rule := range strings.Fields(rest) {
+						want = append(want, fmt.Sprintf("%s:%d:%s", filepath.Base(pos.Filename), pos.Line, rule))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(want)
+	return want
+}
+
+func gotFindings(res *Result) []string {
+	var got []string
+	for _, d := range res.Findings {
+		got = append(got, fmt.Sprintf("%s:%d:%s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule))
+	}
+	sort.Strings(got)
+	return got
+}
+
+func diffStrings(t *testing.T, res *Result, want, got []string) {
+	t.Helper()
+	if strings.Join(want, "\n") == strings.Join(got, "\n") {
+		return
+	}
+	t.Errorf("findings mismatch:\nwant:\n  %s\ngot:\n  %s\nfull diagnostics:\n  %s",
+		strings.Join(want, "\n  "), strings.Join(got, "\n  "), diagLines(res))
+}
+
+func diagLines(res *Result) string {
+	var lines []string
+	for _, d := range res.Findings {
+		lines = append(lines, d.String())
+	}
+	return strings.Join(lines, "\n  ")
+}
+
+// TestRules runs every analyzer over its caught-positive and
+// clean-negative fixture pair, table-driven: the `// want` markers in the
+// fixtures are the expected findings, and the negative fixtures expect
+// none.
+func TestRules(t *testing.T) {
+	cases := []struct {
+		name     string
+		fixtures []string
+		cfg      func(names []string) Config
+	}{
+		{
+			name:     "determinism",
+			fixtures: []string{"determpos", "determneg"},
+			cfg: func(names []string) Config {
+				return Config{DeterministicPkgs: names}
+			},
+		},
+		{
+			name:     "locks",
+			fixtures: []string{"lockpos", "lockneg"},
+			cfg:      func([]string) Config { return Config{} },
+		},
+		{
+			name:     "hotpath",
+			fixtures: []string{"hotpathpos", "hotpathneg"},
+			cfg:      func([]string) Config { return Config{} },
+		},
+		{
+			name:     "errcheck",
+			fixtures: []string{"errcheckpos", "errcheckneg", "errstrict"},
+			cfg: func([]string) Config {
+				return Config{StrictErrorPkgs: []string{"fix/errstrict"}}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := loadFixture(t, tc.fixtures...)
+			paths := make([]string, len(tc.fixtures))
+			for i, n := range tc.fixtures {
+				paths[i] = "fix/" + n
+			}
+			res := Run(m, tc.cfg(paths))
+			want := wantMarkers(t, m)
+			if len(want) == 0 {
+				t.Fatal("fixture has no `// want` markers; positive fixtures must assert at least one finding")
+			}
+			diffStrings(t, res, want, gotFindings(res))
+			for _, d := range res.Findings {
+				if d.Rule != tc.name {
+					t.Errorf("unexpected rule %q from the %s fixtures: %s", d.Rule, tc.name, d)
+				}
+			}
+			if len(res.Suppressed) != 0 {
+				t.Errorf("no suppressions expected, got %d", len(res.Suppressed))
+			}
+		})
+	}
+}
+
+// TestSuppressions covers //botlint:ignore handling: with a reason, without
+// one, with an unknown rule, stale, and a stale //botlint:sorted.
+func TestSuppressions(t *testing.T) {
+	m := loadFixture(t, "suppress")
+	res := Run(m, Config{DeterministicPkgs: []string{"fix/suppress"}})
+
+	// Two determinism findings are silenced: the reasoned one and the
+	// reasonless one (which is then reported itself).
+	if len(res.Suppressed) != 2 {
+		t.Fatalf("want 2 suppressions, got %d: %+v", len(res.Suppressed), res.Suppressed)
+	}
+	if r := res.Suppressed[0].Reason; !strings.Contains(r, "interop timestamp") {
+		t.Errorf("first suppression lost its reason: %q", r)
+	}
+	if r := res.Suppressed[1].Reason; r != "" {
+		t.Errorf("reasonless suppression grew a reason: %q", r)
+	}
+
+	byRule := make(map[string][]string)
+	for _, d := range res.Findings {
+		byRule[d.Rule] = append(byRule[d.Rule], d.Msg)
+	}
+	// The unknown-rule directive suppresses nothing, so its time.Now still
+	// fires.
+	if n := len(byRule["determinism"]); n != 1 {
+		t.Errorf("want 1 unsuppressed determinism finding (unknown-rule case), got %d: %v", n, byRule["determinism"])
+	}
+	// Four defective directives: missing reason, unknown rule, stale
+	// ignore, stale sorted.
+	if n := len(byRule[suppressRule]); n != 4 {
+		t.Errorf("want 4 suppress findings, got %d: %v", n, byRule[suppressRule])
+	}
+	wantSubstrings := []string{"has no reason", "unknown rule", "stale suppression", "stale //botlint:sorted"}
+	for _, sub := range wantSubstrings {
+		found := false
+		for _, msg := range byRule[suppressRule] {
+			if strings.Contains(msg, sub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no suppress finding mentions %q in %v", sub, byRule[suppressRule])
+		}
+	}
+}
+
+// TestModuleClean is the in-tree acceptance gate: the real module must lint
+// clean, and every applied suppression must carry a reason.
+func TestModuleClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, DefaultConfig(m.Path))
+	for _, d := range res.Findings {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+	if len(res.Suppressed) == 0 {
+		t.Error("expected at least one reasoned suppression in the tree (the live wall clock)")
+	}
+	for _, s := range res.Suppressed {
+		if s.Reason == "" {
+			t.Errorf("%s:%d: suppression of %s has no reason", s.Pos.Filename, s.Pos.Line, s.Rule)
+		}
+	}
+}
+
+// TestLoadModuleShape sanity-checks the loader: every expected package of
+// the module is present and type-checked against shared type info.
+func TestLoadModuleShape(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPkgs := []string{
+		"botgrid",
+		"botgrid/cmd/botlint",
+		"botgrid/internal/analysislint",
+		"botgrid/internal/core",
+		"botgrid/internal/des",
+		"botgrid/internal/journal",
+		"botgrid/internal/serve",
+	}
+	have := make(map[string]bool, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		have[p.Path] = true
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", p.Path)
+		}
+	}
+	for _, w := range wantPkgs {
+		if !have[w] {
+			t.Errorf("package %s missing from module load", w)
+		}
+	}
+	// Shared Info: identifiers across packages resolve through one map.
+	resolved := 0
+	for range m.Info.Uses {
+		resolved++
+		if resolved > 1000 {
+			break
+		}
+	}
+	if resolved < 1000 {
+		t.Errorf("suspiciously few resolved identifiers: %d", resolved)
+	}
+}
+
+var _ = ast.Inspect // keep go/ast imported for wantMarkers' comment walk

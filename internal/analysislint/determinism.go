@@ -1,0 +1,161 @@
+package analysislint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkDeterminism enforces the simulator's bit-identical reproducibility:
+// inside the deterministic packages — and any tree code statically
+// reachable from them — it forbids
+//
+//   - time.Now (and Since/Until, which read it),
+//   - the auto-seeded global math/rand functions,
+//   - rand.New*-family sources whose seed is not threaded from a variable
+//     (a constant-seeded source hides a fixed stream from the experiment
+//     seed), and
+//   - ranging over a map without a //botlint:sorted justification within
+//     the two preceding lines (map iteration order is random per run).
+func checkDeterminism(p *pass) {
+	idx := indexFuncs(p.m)
+	reach := reachableFrom(p.m, idx, p.cfg.DeterministicPkgs)
+
+	for _, n := range idx.list {
+		if !reach[n] || n.decl.Body == nil {
+			continue
+		}
+		detWalk(p, n.decl.Body)
+	}
+	// Package-level initializers of the deterministic packages run before
+	// any seed is threaded; they get the same expression checks.
+	for _, pkg := range p.m.Pkgs {
+		if !inPkgs(pkg.Path, p.cfg.DeterministicPkgs) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok {
+					detWalk(p, gd)
+				}
+			}
+		}
+	}
+}
+
+// detWalk applies the determinism checks to one declaration body.
+func detWalk(p *pass, root ast.Node) {
+	skipCalls := make(map[ast.Node]bool) // nested rand constructors already covered
+	ast.Inspect(root, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.Ident:
+			fn, ok := p.m.Info.Uses[n].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					p.report(n.Pos(), "determinism",
+						fmt.Sprintf("time.%s in simulation-reachable code: take time from the injected Clock/Engine", fn.Name()))
+				}
+			case "math/rand", "math/rand/v2":
+				if fn.Type().(*types.Signature).Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+					p.report(n.Pos(), "determinism",
+						fmt.Sprintf("global rand.%s uses the auto-seeded shared source: draw from an internal/rng stream", fn.Name()))
+				}
+			}
+		case *ast.CallExpr:
+			if skipCalls[n] {
+				return true
+			}
+			if fn := randConstructor(p, n); fn != nil {
+				// Mark nested constructor calls (rand.New(rand.NewPCG(...)))
+				// so one expression yields one finding.
+				ast.Inspect(n, func(inner ast.Node) bool {
+					if c, ok := inner.(*ast.CallExpr); ok && c != n && randConstructor(p, c) != nil {
+						skipCalls[c] = true
+					}
+					return true
+				})
+				if !hasDynamicSeed(p, n) {
+					p.report(n.Pos(), "determinism",
+						fmt.Sprintf("rand.%s seeded without a threaded seed value: derive the source from the experiment seed", fn.Name()))
+				}
+			}
+		case *ast.RangeStmt:
+			t := p.m.Info.Types[n.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fd := p.fileDirs(n.Pos())
+			if sd := fd.sortedAt(p.m.Fset.Position(n.Pos()).Line); sd != nil {
+				sd.used = true
+				return true
+			}
+			p.report(n.Pos(), "determinism",
+				"range over map has nondeterministic order: iterate sorted keys and justify with //botlint:sorted (or suppress)")
+		}
+		return true
+	})
+}
+
+// randConstructor returns the callee when call is a math/rand New*-family
+// constructor call.
+func randConstructor(p *pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := p.m.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return nil
+	}
+	if !strings.HasPrefix(fn.Name(), "New") {
+		return nil
+	}
+	return fn
+}
+
+// hasDynamicSeed reports whether any argument of the constructor call
+// (recursively) references a variable or calls a non-rand function — i.e.
+// the seed is threaded in from outside rather than hard-coded.
+func hasDynamicSeed(p *pass, call *ast.CallExpr) bool {
+	dynamic := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(node ast.Node) bool {
+			if dynamic {
+				return false
+			}
+			switch n := node.(type) {
+			case *ast.Ident:
+				if _, ok := p.m.Info.Uses[n].(*types.Var); ok {
+					dynamic = true
+					return false
+				}
+			case *ast.CallExpr:
+				if randConstructor(p, n) == nil {
+					// A call into arbitrary code may thread entropy/config.
+					dynamic = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return dynamic
+}

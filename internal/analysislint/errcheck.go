@@ -1,0 +1,158 @@
+package analysislint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errStrictNames are the API-name fragments that mark a strict-package
+// function as part of its durability surface: discarding their error result
+// can silently lose acknowledged data.
+var errStrictNames = []string{"Sync", "Write", "Append", "Flush", "Close", "Durable"}
+
+// checkErrStrict forbids discarding the error result of
+//   - (*os.File).Sync anywhere in the tree, and
+//   - the write/sync APIs (names containing Sync, Write, Append, Flush,
+//     Close or Durable) of the configured strict packages.
+//
+// A call is "discarding" when it stands alone as a statement (including go
+// and defer statements) or when the error-position result is assigned to
+// the blank identifier.
+func checkErrStrict(p *pass) {
+	for _, pkg := range p.m.Pkgs {
+		for _, f := range pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(node ast.Node) bool {
+				if node == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if call, ok := node.(*ast.CallExpr); ok {
+					if fn, errIdx := strictCallee(p, call); fn != nil {
+						if discardsError(p, stack, call, errIdx) {
+							p.report(call.Pos(), "errcheck",
+								fmt.Sprintf("%s error discarded: a dropped sync/write error can silently lose acknowledged data", calleeLabel(fn)))
+						}
+					}
+				}
+				stack = append(stack, node)
+				return true
+			})
+		}
+	}
+}
+
+// strictCallee resolves a call to an error-strict API and returns the
+// callee plus the index of the error result, or (nil, 0).
+func strictCallee(p *pass, call *ast.CallExpr) (*types.Func, int) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, 0
+	}
+	fn, ok := p.m.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, 0
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, 0
+	}
+	errIdx := errorResultIndex(sig)
+	if errIdx < 0 {
+		return nil, 0
+	}
+	if isOSFileSync(fn) {
+		return fn, errIdx
+	}
+	if inPkgs(fn.Pkg().Path(), p.cfg.StrictErrorPkgs) && hasStrictName(fn.Name()) {
+		return fn, errIdx
+	}
+	return nil, 0
+}
+
+func hasStrictName(name string) bool {
+	for _, frag := range errStrictNames {
+		if strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func isOSFileSync(fn *types.Func) bool {
+	if fn.Pkg().Path() != "os" || fn.Name() != "Sync" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "File"
+}
+
+// errorResultIndex returns the index of the last result if it is error, or
+// -1.
+func errorResultIndex(sig *types.Signature) int {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return -1
+	}
+	last := res.At(res.Len() - 1).Type()
+	if named, ok := last.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return res.Len() - 1
+	}
+	return -1
+}
+
+// discardsError reports whether the call's error result is dropped: the
+// call is a bare/go/defer statement, or the error position is assigned to
+// the blank identifier.
+func discardsError(p *pass, stack []ast.Node, call *ast.CallExpr, errIdx int) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ExprStmt:
+		return true
+	case *ast.GoStmt, *ast.DeferStmt:
+		return true
+	case *ast.AssignStmt:
+		// Sole multi-value RHS: LHS[errIdx] blank discards the error.
+		if len(parent.Rhs) == 1 && parent.Rhs[0] == ast.Expr(call) && errIdx < len(parent.Lhs) {
+			return isBlank(parent.Lhs[errIdx])
+		}
+		// Parallel assignment: the matching LHS blank discards it (the
+		// error is the call's only result here, by Go's assignability).
+		for i, rhs := range parent.Rhs {
+			if rhs == ast.Expr(call) && i < len(parent.Lhs) {
+				return isBlank(parent.Lhs[i])
+			}
+		}
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func calleeLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", sig.Recv().Type(), fn.Name())
+	}
+	return fmt.Sprintf("%s.%s", fn.Pkg().Name(), fn.Name())
+}

@@ -1,0 +1,217 @@
+package analysislint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// checkHotpath enforces allocation hygiene in functions annotated
+// `//botlint:hotpath` — the dispatch-decision and journal-append paths that
+// the benchmark gate pins at 0 allocs/op. Inside such a function it
+// forbids:
+//
+//   - any use of package fmt (formatting allocates),
+//   - defer statements (defer costs dominate sub-microsecond paths),
+//   - func literals that capture enclosing variables (closure allocation),
+//   - append whose result does not feed back into its first operand
+//     (`dst = append(dst, ...)` reuses capacity; anything else builds a
+//     fresh, escaping slice), and
+//   - implicit or explicit conversions of non-pointer-shaped concrete
+//     values to interface types (boxing allocates).
+func checkHotpath(p *pass) {
+	idx := indexFuncs(p.m)
+	for _, n := range idx.list {
+		if _, ok := docDirective(n.decl.Doc, "hotpath"); !ok {
+			continue
+		}
+		if n.decl.Body == nil {
+			continue
+		}
+		checkHotBody(p, n.decl.Body)
+	}
+}
+
+func checkHotBody(p *pass, body *ast.BlockStmt) {
+	info := p.m.Info
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				p.report(n.Pos(), "hotpath", fmt.Sprintf("fmt.%s on a hot path: formatting allocates", obj.Name()))
+			}
+		case *ast.DeferStmt:
+			p.report(n.Pos(), "hotpath", "defer on a hot path: use explicit cleanup")
+		case *ast.FuncLit:
+			if capt := capturedVar(p, n, body); capt != "" {
+				p.report(n.Pos(), "hotpath",
+					fmt.Sprintf("func literal captures %q: closure allocation on a hot path (pre-bind the callback)", capt))
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && len(n.Lhs) == len(n.Rhs) {
+					checkBoxing(p, info.Types[n.Lhs[i]].Type, rhs)
+				}
+			}
+		}
+		return true
+	})
+
+	// append discipline: every append's result must feed back into its
+	// first operand.
+	ast.Inspect(body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) {
+			return true
+		}
+		if !appendFeedsBack(p, body, call) {
+			p.report(call.Pos(), "hotpath",
+				"append result does not feed back into its first operand: builds an escaping slice (want dst = append(dst, ...))")
+		}
+		return true
+	})
+}
+
+// capturedVar returns the name of a local variable (or parameter) of the
+// enclosing function that the literal captures, or "" when the literal is
+// capture-free. Package-level variables and struct fields are reachable
+// without a closure and do not count.
+func capturedVar(p *pass, lit *ast.FuncLit, enclosing *ast.BlockStmt) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.m.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		captured = v.Name()
+		return false
+	})
+	return captured
+}
+
+// checkHotCall flags arguments that box a non-pointer-shaped concrete value
+// into an interface parameter, and explicit T(x) conversions to interfaces.
+func checkHotCall(p *pass, call *ast.CallExpr) {
+	info := p.m.Info
+	// Explicit conversion to an interface type: Iface(x) / any(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			checkBoxing(p, tv.Type, call.Args[0])
+		}
+		return
+	}
+	sig, ok := calleeSignature(p, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(p, pt, arg)
+	}
+}
+
+// checkBoxing reports when assigning expr to something of type dst converts
+// a non-pointer-shaped concrete value to an interface (heap-allocating
+// boxing).
+func checkBoxing(p *pass, dst types.Type, expr ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := p.m.Info.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	if tv.Value != nil {
+		// Constants convert through static read-only interface data — no
+		// runtime allocation (e.g. panic("msg")).
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored directly in the interface word
+	}
+	p.report(expr.Pos(), "hotpath",
+		fmt.Sprintf("%s value boxed into %s: interface conversion of a concrete value allocates", src, dst))
+}
+
+// calleeSignature resolves the signature of a (non-builtin) call.
+func calleeSignature(p *pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := p.m.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	return sig, ok
+}
+
+func isBuiltinAppend(p *pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.m.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// appendFeedsBack reports whether the append call's result is assigned back
+// to the expression it appends to (x = append(x, ...)).
+func appendFeedsBack(p *pass, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	feeds := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if rhs == ast.Expr(call) && exprString(p, as.Lhs[i]) == exprString(p, call.Args[0]) {
+				feeds = true
+				return false
+			}
+		}
+		return true
+	})
+	return feeds
+}
+
+// exprString renders an expression for structural comparison.
+func exprString(p *pass, e ast.Expr) string {
+	var sb strings.Builder
+	printer.Fprint(&sb, p.m.Fset, e)
+	return sb.String()
+}

@@ -1,0 +1,248 @@
+// Package analysislint implements botlint, the repo's static-analysis
+// suite. It loads every package of the module with the standard library's
+// go/parser, go/ast, go/types and go/importer — no external dependencies —
+// and checks four families of invariants the simulator and the live
+// dispatch service rely on:
+//
+//   - determinism: no wall-clock or global math/rand nondeterminism, and no
+//     unordered map iteration, in the simulation packages or any code they
+//     reach (rule "determinism");
+//   - lock discipline: functions annotated //botlint:holds mu are only
+//     called with mu held, fields annotated //botlint:guarded-by mu are
+//     only touched with mu held (rule "locks");
+//   - hot-path allocation hygiene: functions annotated //botlint:hotpath
+//     avoid the constructs that put allocations or hidden costs on the
+//     dispatch path (rule "hotpath");
+//   - error strictness: fsync/write errors of the durability layer are
+//     never discarded (rule "errcheck").
+//
+// Findings are reported as `file:line: [rule] message` and may be
+// suppressed, one line at a time, with `//botlint:ignore rule -- reason`.
+// Suppressions are themselves checked: a missing reason, an unknown rule
+// name, or a suppression whose rule no longer fires all become findings
+// (rule "suppress", which cannot itself be suppressed).
+package analysislint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Rules lists every analyzer rule name with a one-line description, in
+// report order.
+var Rules = []struct{ Name, Doc string }{
+	{"determinism", "no time.Now, global math/rand, constant-seeded rand sources, or unsorted map ranges in simulation-reachable code"},
+	{"locks", "//botlint:holds and //botlint:guarded-by mutex annotations are respected"},
+	{"hotpath", "//botlint:hotpath functions avoid fmt, defer, escaping appends, closures and boxing interface conversions"},
+	{"errcheck", "no discarded errors from os.File.Sync or the journal's write/sync APIs"},
+}
+
+// suppressRule is the pseudo-rule for defective suppressions; it cannot be
+// ignored.
+const suppressRule = "suppress"
+
+func knownRule(name string) bool {
+	for _, r := range Rules {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Config selects what the analyzers treat as in scope.
+type Config struct {
+	// DeterministicPkgs are the import paths whose code — plus everything
+	// statically reachable from it inside the tree — must satisfy the
+	// determinism rule.
+	DeterministicPkgs []string
+	// StrictErrorPkgs are the import paths whose error-returning
+	// write/sync/append/flush/close APIs must never have their errors
+	// discarded.
+	StrictErrorPkgs []string
+}
+
+// DefaultConfig returns the botgrid configuration: the simulation clock's
+// packages are deterministic, the journal's durability APIs are
+// error-strict.
+func DefaultConfig(modPath string) Config {
+	return Config{
+		DeterministicPkgs: []string{
+			modPath + "/internal/des",
+			modPath + "/internal/core",
+			modPath + "/internal/grid",
+			modPath + "/internal/workload",
+			modPath + "/internal/rng",
+		},
+		StrictErrorPkgs: []string{modPath + "/internal/journal"},
+	}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String formats the finding as file:line: [rule] message, with the file
+// path relative to the module root when possible.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
+}
+
+// Suppression is one //botlint:ignore that matched a finding.
+type Suppression struct {
+	Pos    token.Position // position of the suppressed finding
+	Rule   string
+	Reason string
+	Msg    string // the suppressed finding's message
+}
+
+// Result is the outcome of one lint run.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, in file/line order.
+	Findings []Diagnostic
+	// Suppressed are the findings silenced by //botlint:ignore directives,
+	// in file/line order.
+	Suppressed []Suppression
+}
+
+// pass carries shared lookup state to the analyzers.
+type pass struct {
+	m      *Module
+	cfg    Config
+	dirs   map[*ast.File]*fileDirectives
+	byName map[string]*fileDirectives // keyed by filename
+	report func(pos token.Pos, rule, msg string)
+}
+
+// fileDirs returns the directive index for the file containing pos.
+func (p *pass) fileDirs(pos token.Pos) *fileDirectives {
+	if fd, ok := p.byName[p.m.Fset.Position(pos).Filename]; ok {
+		return fd
+	}
+	return &fileDirectives{}
+}
+
+// Run executes every analyzer over the loaded module and applies
+// suppressions.
+func Run(m *Module, cfg Config) *Result {
+	dirs := make(map[*ast.File]*fileDirectives)
+	byName := make(map[string]*fileDirectives)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			fd := parseFileDirectives(m.Fset, f)
+			dirs[f] = fd
+			byName[m.Fset.Position(f.Pos()).Filename] = fd
+		}
+	}
+
+	var raw []Diagnostic
+	p := &pass{
+		m:      m,
+		cfg:    cfg,
+		dirs:   dirs,
+		byName: byName,
+		report: func(pos token.Pos, rule, msg string) {
+			raw = append(raw, Diagnostic{Pos: m.Fset.Position(pos), Rule: rule, Msg: msg})
+		},
+	}
+	checkDeterminism(p)
+	checkLocks(p)
+	checkHotpath(p)
+	checkErrStrict(p)
+
+	res := &Result{}
+	for _, d := range raw {
+		if fd, ok := byName[d.Pos.Filename]; ok {
+			if ig := fd.ignoreAt(d.Rule, d.Pos.Line); ig != nil {
+				ig.used = true
+				res.Suppressed = append(res.Suppressed, Suppression{
+					Pos: d.Pos, Rule: d.Rule, Reason: ig.reason, Msg: d.Msg,
+				})
+				continue
+			}
+		}
+		res.Findings = append(res.Findings, d)
+	}
+
+	// The suppressions themselves are findings when defective: unknown
+	// rule, missing reason, or stale (nothing left to suppress).
+	for _, fd := range dirs {
+		for _, ig := range fd.ignores {
+			switch {
+			case !knownRule(ig.rule):
+				res.Findings = append(res.Findings, Diagnostic{
+					Pos: ig.pos, Rule: suppressRule,
+					Msg: fmt.Sprintf("//botlint:ignore names unknown rule %q (known: %s)", ig.rule, ruleNameList()),
+				})
+			case ig.reason == "":
+				res.Findings = append(res.Findings, Diagnostic{
+					Pos: ig.pos, Rule: suppressRule,
+					Msg: fmt.Sprintf("//botlint:ignore %s has no reason (want `//botlint:ignore %s -- why`)", ig.rule, ig.rule),
+				})
+			case !ig.used:
+				res.Findings = append(res.Findings, Diagnostic{
+					Pos: ig.pos, Rule: suppressRule,
+					Msg: fmt.Sprintf("stale suppression: rule %s does not fire on this or the next line", ig.rule),
+				})
+			}
+		}
+		for _, sd := range fd.sorted {
+			if !sd.used {
+				res.Findings = append(res.Findings, Diagnostic{
+					Pos: sd.pos, Rule: suppressRule,
+					Msg: "stale //botlint:sorted: no map range within the next 2 lines",
+				})
+			}
+		}
+	}
+
+	sortDiags(res.Findings)
+	sort.Slice(res.Suppressed, func(i, j int) bool {
+		a, b := res.Suppressed[i].Pos, res.Suppressed[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return res
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Msg < ds[j].Msg
+	})
+}
+
+func ruleNameList() string {
+	names := make([]string, len(Rules))
+	for i, r := range Rules {
+		names[i] = r.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// inPkgs reports whether path is one of the listed import paths.
+func inPkgs(path string, list []string) bool {
+	for _, p := range list {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package analysislint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the tree under analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory its sources were read from.
+	Dir string
+	// Files are the package's non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+}
+
+// Module is a fully loaded and type-checked source tree: every package of a
+// Go module (LoadModule) or an explicit set of fixture packages (LoadDirs).
+// All packages share one FileSet and one types.Info, so analyzers can
+// resolve any identifier of any package through a single map lookup.
+type Module struct {
+	// Root is the absolute module root (LoadModule only; "" for LoadDirs).
+	Root string
+	// Path is the module path from go.mod (LoadModule only).
+	Path string
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Info holds type information for all loaded packages combined.
+	Info *types.Info
+	// Pkgs lists the loaded packages in import-path order.
+	Pkgs []*Package
+
+	byPath  map[string]*Package
+	dirs    map[string]string // import path -> source dir, for in-tree imports
+	loading map[string]bool   // cycle detection
+	std     types.Importer    // compiled stdlib export data
+	src     types.Importer    // source fallback when export data is missing
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysislint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysislint: no module directive in %s", gomod)
+}
+
+// LoadModule loads and type-checks every package of the module rooted at
+// root (a directory at or under the go.mod). Directories named testdata or
+// vendor, and hidden or underscore-prefixed directories, are skipped; so
+// are _test.go files — botlint checks shipped code, tests are free to use
+// wall clocks and unordered maps.
+func LoadModule(root string) (*Module, error) {
+	root, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := newModule()
+	m.Root = root
+	m.Path = modPath
+
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		m.dirs[imp] = path
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(m.dirs))
+	for p := range m.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := m.load(p); err != nil {
+			return nil, err
+		}
+	}
+	m.finish()
+	return m, nil
+}
+
+// LoadDirs loads an explicit set of packages given as import path -> source
+// directory, type-checking them against each other and the standard
+// library. Tests use it to lint fixture packages that live under testdata
+// (and are therefore invisible to LoadModule).
+func LoadDirs(dirs map[string]string) (*Module, error) {
+	m := newModule()
+	for imp, dir := range dirs {
+		m.dirs[imp] = dir
+	}
+	paths := make([]string, 0, len(dirs))
+	for p := range dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := m.load(p); err != nil {
+			return nil, err
+		}
+	}
+	m.finish()
+	return m, nil
+}
+
+func newModule() *Module {
+	fset := token.NewFileSet()
+	return &Module{
+		Fset: fset,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+		byPath:  make(map[string]*Package),
+		dirs:    make(map[string]string),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "gc", nil),
+		src:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (m *Module) finish() {
+	m.Pkgs = m.Pkgs[:0]
+	for _, p := range m.byPath {
+		m.Pkgs = append(m.Pkgs, p)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks the in-tree package with the given import
+// path, memoized.
+func (m *Module) load(path string) (*Package, error) {
+	if p, ok := m.byPath[path]; ok {
+		return p, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("analysislint: import cycle through %s", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	dir := m.dirs[path]
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, perr := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysislint: no Go files in %s", dir)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) { return m.importPkg(imp) }),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, m.Fset, files, m.Info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysislint: type-checking %s: %w", path, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysislint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg}
+	m.byPath[path] = p
+	return p, nil
+}
+
+// importPkg resolves an import: in-tree packages load recursively from
+// source; everything else comes from compiled export data, falling back to
+// type-checking the standard library's source when export data is absent.
+func (m *Module) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := m.dirs[path]; ok {
+		p, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if p, err := m.std.Import(path); err == nil {
+		return p, nil
+	}
+	return m.src.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

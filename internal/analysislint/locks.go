@@ -1,0 +1,160 @@
+package analysislint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkLocks enforces the annotated mutex discipline:
+//
+//   - a function annotated `//botlint:holds mu` may only be called from a
+//     function that locks mu somewhere in its body or is itself annotated
+//     as holding mu;
+//   - a struct field annotated `//botlint:guarded-by mu` may only be read
+//     or written inside such a function.
+//
+// The check is function-granular: locking anywhere in the body qualifies
+// the whole function. That is deliberately coarse — it catches the real
+// failure mode (a new call path that never takes the lock) without
+// requiring flow analysis, and the few constructor-time exceptions carry
+// explicit //botlint:ignore reasons.
+func checkLocks(p *pass) {
+	idx := indexFuncs(p.m)
+
+	// Function annotations: //botlint:holds <mu> in the doc comment.
+	holds := make(map[*types.Func]string)
+	for _, n := range idx.list {
+		if mu, ok := docDirective(n.decl.Doc, "holds"); ok && mu != "" {
+			holds[n.obj] = mu
+		}
+	}
+
+	// Field annotations: //botlint:guarded-by <mu> on the field.
+	guarded := make(map[*types.Var]string)
+	for _, pkg := range p.m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				st, ok := node.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					mu, ok := fieldDirective(field, "guarded-by")
+					if !ok || mu == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := p.m.Info.Defs[name].(*types.Var); ok {
+							guarded[v] = mu
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(holds) == 0 && len(guarded) == 0 {
+		return
+	}
+
+	for _, n := range idx.list {
+		if n.decl.Body == nil {
+			continue
+		}
+		held := lockedMutexes(p, n.decl.Body)
+		if mu, ok := holds[n.obj]; ok {
+			held[mu] = true
+		}
+		checkLockBody(p, n.decl.Body, held, holds, guarded)
+	}
+
+	// Package-level initializers hold nothing.
+	none := map[string]bool{}
+	for _, pkg := range p.m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok {
+					checkLockBody(p, gd, none, holds, guarded)
+				}
+			}
+		}
+	}
+}
+
+// lockedMutexes returns the names of mutexes the body locks (Lock or RLock
+// on a selector whose final receiver component matches the name).
+func lockedMutexes(p *pass, body ast.Node) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if name := terminalName(sel.X); name != "" {
+			held[name] = true
+		}
+		return true
+	})
+	return held
+}
+
+// terminalName returns the last identifier of a selector chain: "mu" for
+// both `mu` and `s.mu`.
+func terminalName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// checkLockBody reports holds-violating calls and guarded-field accesses in
+// one declaration, given the set of mutex names the enclosing function
+// holds.
+func checkLockBody(p *pass, body ast.Node, held map[string]bool, holds map[*types.Func]string, guarded map[*types.Var]string) {
+	var stack []ast.Node
+	ast.Inspect(body, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := node.(*ast.Ident); ok {
+			switch obj := p.m.Info.Uses[id].(type) {
+			case *types.Func:
+				if mu, ok := holds[obj]; ok && !held[mu] {
+					p.report(id.Pos(), "locks",
+						fmt.Sprintf("%s must be called with %s held: lock %s in the caller or annotate it //botlint:holds %s", obj.Name(), mu, mu, mu))
+				}
+			case *types.Var:
+				if mu, ok := guarded[obj]; ok && !held[mu] && !isCompositeLitKey(stack, id) {
+					p.report(id.Pos(), "locks",
+						fmt.Sprintf("field %s is guarded by %s, which is not held here", obj.Name(), mu))
+				}
+			}
+		}
+		stack = append(stack, node)
+		return true
+	})
+}
+
+// isCompositeLitKey reports whether id is the key of a composite-literal
+// element (Type{field: v}): construction of a fresh value precedes any
+// sharing, so it needs no lock.
+func isCompositeLitKey(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	if !ok || kv.Key != ast.Expr(id) {
+		return false
+	}
+	_, ok = stack[len(stack)-2].(*ast.CompositeLit)
+	return ok
+}

@@ -1,0 +1,85 @@
+package analysislint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// funcNode is one function or method declared in the loaded tree.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// funcIndex maps every declared function of the tree to its AST.
+type funcIndex struct {
+	byObj map[*types.Func]*funcNode
+	list  []*funcNode // deterministic order: file position
+}
+
+// indexFuncs builds the function index for the whole tree.
+func indexFuncs(m *Module) *funcIndex {
+	idx := &funcIndex{byObj: make(map[*types.Func]*funcNode)}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				obj, ok := m.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{obj: obj, decl: fd, pkg: pkg}
+				idx.byObj[obj] = n
+				idx.list = append(idx.list, n)
+			}
+		}
+	}
+	sort.Slice(idx.list, func(i, j int) bool { return idx.list[i].decl.Pos() < idx.list[j].decl.Pos() })
+	return idx
+}
+
+// reachableFrom computes the set of tree functions statically reachable
+// from the seed packages: every function declared in a seed package, plus —
+// transitively — every tree function one of them references (calls, method
+// values, callbacks bound to fields). References through interfaces or
+// stored function values cannot be resolved statically; binding sites
+// (where the method value is taken) are edges, which covers the scheduler's
+// pre-bound event callbacks.
+func reachableFrom(m *Module, idx *funcIndex, seedPkgs []string) map[*funcNode]bool {
+	reach := make(map[*funcNode]bool)
+	var queue []*funcNode
+	for _, n := range idx.list {
+		if inPkgs(n.pkg.Path, seedPkgs) {
+			reach[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			id, ok := node.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := m.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if target, ok := idx.byObj[fn]; ok && !reach[target] {
+				reach[target] = true
+				queue = append(queue, target)
+			}
+			return true
+		})
+	}
+	return reach
+}

@@ -1,0 +1,44 @@
+// Package determneg is the clean-negative fixture for the determinism
+// rule: the sanctioned forms of everything determpos gets flagged for.
+package determneg
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// Clock is the injected time source.
+type Clock interface {
+	Now() float64
+}
+
+// Elapsed takes time from the injected clock, never the wall.
+func Elapsed(c Clock, start float64) float64 {
+	return c.Now() - start
+}
+
+// Stream derives its source from a threaded seed.
+func Stream(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+}
+
+// Draw consumes an instance stream, not the global source.
+func Draw(r *rand.Rand) int {
+	return r.IntN(6)
+}
+
+// Sum iterates the map in sorted key order; the collection range is
+// justified because consumption below is ordered.
+func Sum(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	//botlint:sorted keys are sorted before consumption below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

@@ -1,0 +1,38 @@
+// Package determpos is the caught-positive fixture for the determinism
+// rule: every construct the rule forbids, one per function. `// want`
+// markers name the rules expected on their line.
+package determpos
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Stamp reads the wall clock inside simulation-scoped code.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+// Age derives a duration from the wall clock.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want determinism
+}
+
+// Draw consumes the auto-seeded global source.
+func Draw() int {
+	return rand.IntN(6) // want determinism
+}
+
+// FixedStream hides a constant-seeded stream from the experiment seed.
+func FixedStream() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2)) // want determinism
+}
+
+// Sum iterates a map in random order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want determinism
+		total += v
+	}
+	return total
+}

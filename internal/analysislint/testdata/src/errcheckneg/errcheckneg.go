@@ -1,0 +1,22 @@
+// Package errcheckneg is the clean-negative fixture for the
+// error-strictness rule: every error handled, plus a non-strict API whose
+// error may legitimately be dropped.
+package errcheckneg
+
+import (
+	"os"
+
+	"fix/errstrict"
+)
+
+// Shutdown checks every durability error.
+func Shutdown(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := errstrict.WriteBlob(nil); err != nil {
+		return err
+	}
+	errstrict.Lookup() // not a durability API: discard is fine
+	return errstrict.SyncAll()
+}

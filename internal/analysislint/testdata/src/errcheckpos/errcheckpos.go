@@ -1,0 +1,18 @@
+// Package errcheckpos is the caught-positive fixture for the
+// error-strictness rule: every way of discarding a sync/write error.
+package errcheckpos
+
+import (
+	"os"
+
+	"fix/errstrict"
+)
+
+// Shutdown drops durability errors five different ways.
+func Shutdown(f *os.File) {
+	f.Sync()                     // want errcheck
+	_ = f.Sync()                 // want errcheck
+	defer f.Sync()               // want errcheck
+	errstrict.SyncAll()          // want errcheck
+	_ = errstrict.WriteBlob(nil) // want errcheck
+}

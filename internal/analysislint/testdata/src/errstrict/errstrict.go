@@ -1,0 +1,14 @@
+// Package errstrict stands in for internal/journal in the error-strictness
+// fixtures: a package whose write/sync APIs must never have their errors
+// discarded.
+package errstrict
+
+// WriteBlob persists a blob.
+func WriteBlob(b []byte) error { _ = b; return nil }
+
+// SyncAll flushes everything.
+func SyncAll() error { return nil }
+
+// Lookup is not part of the durability surface (no strict name fragment);
+// its error may be discarded without a finding.
+func Lookup() error { return nil }

@@ -1,0 +1,52 @@
+// Package hotpathneg is the clean-negative fixture for the hot-path
+// hygiene rule: allocation-free forms of everything hotpathpos flags, plus
+// proof that unannotated functions are exempt.
+package hotpathneg
+
+import "fmt"
+
+// event is a pooled payload.
+type event struct {
+	seq int
+}
+
+// Push feeds append back into its operand: capacity is reused.
+//
+//botlint:hotpath
+func Push(dst []int, v int) []int {
+	dst = append(dst, v)
+	return dst
+}
+
+// Send passes a pointer-shaped value through an interface parameter: the
+// interface word holds the pointer, nothing boxes.
+//
+//botlint:hotpath
+func Send(sink func(any), ev *event) {
+	sink(ev)
+}
+
+// Static calls a pre-bound function value instead of building a closure,
+// and its literal-free body defers nothing.
+//
+//botlint:hotpath
+func Static(fn func(int), seq int) {
+	fn(seq)
+}
+
+// Guard panics with a constant message: constants convert to interface
+// through static data, so no boxing allocation happens at runtime.
+//
+//botlint:hotpath
+func Guard(ok bool) {
+	if !ok {
+		panic("hotpathneg: guard violated")
+	}
+}
+
+// Slow is NOT annotated: the same constructs are fine off the hot path.
+func Slow(release func(), n int) func() int {
+	defer release()
+	fmt.Println(n)
+	return func() int { return n }
+}

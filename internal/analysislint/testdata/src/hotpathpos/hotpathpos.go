@@ -1,0 +1,51 @@
+// Package hotpathpos is the caught-positive fixture for the hot-path
+// hygiene rule: each forbidden construct in its own annotated function.
+package hotpathpos
+
+import "fmt"
+
+// Log formats on the hot path.
+//
+//botlint:hotpath
+func Log() {
+	fmt.Println() // want hotpath
+}
+
+// Cleanup defers on the hot path.
+//
+//botlint:hotpath
+func Cleanup(release func()) {
+	defer release() // want hotpath
+}
+
+// Bind builds a capturing closure on the hot path.
+//
+//botlint:hotpath
+func Bind(n int) func() int {
+	f := func() int { return n } // want hotpath
+	return f
+}
+
+// Merge builds a fresh slice instead of feeding append back.
+//
+//botlint:hotpath
+func Merge(dst, src []int) []int {
+	out := append(dst, src...) // want hotpath
+	return out
+}
+
+// Box converts a concrete value to an interface.
+//
+//botlint:hotpath
+func Box(sink func(any), v int) {
+	sink(v) // want hotpath
+}
+
+// BoxAssign boxes through an assignment.
+//
+//botlint:hotpath
+func BoxAssign(v [4]float64) any {
+	var x any
+	x = v // want hotpath
+	return x
+}

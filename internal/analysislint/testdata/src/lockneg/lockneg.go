@@ -1,0 +1,47 @@
+// Package lockneg is the clean-negative fixture for the lock-discipline
+// rule: every access pattern the rule accepts.
+package lockneg
+
+import "sync"
+
+// Counter is a mutex-guarded counter.
+type Counter struct {
+	mu sync.RWMutex
+	n  int //botlint:guarded-by mu
+}
+
+// New constructs a counter; composite-literal construction of a fresh
+// value needs no lock.
+func New() *Counter {
+	return &Counter{n: 0}
+}
+
+// bump increments the counter.
+//
+//botlint:holds mu
+func (c *Counter) bump() {
+	c.n++
+}
+
+// double is a holds-annotated function calling another one: the annotation
+// carries the obligation, no lock in the body needed.
+//
+//botlint:holds mu
+func (c *Counter) double() {
+	c.bump()
+	c.bump()
+}
+
+// Add locks before calling the annotated helper.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.double()
+}
+
+// Peek read-locks before touching the guarded field.
+func (c *Counter) Peek() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}

@@ -1,0 +1,36 @@
+// Package lockpos is the caught-positive fixture for the lock-discipline
+// rule: a holds-annotated function called lockless and a guarded field
+// touched lockless.
+package lockpos
+
+import "sync"
+
+// Counter is a mutex-guarded counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int //botlint:guarded-by mu
+}
+
+// bump increments the counter.
+//
+//botlint:holds mu
+func (c *Counter) bump() {
+	c.n++
+}
+
+// Add locks correctly before calling bump.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+// Sneak calls bump without taking the lock.
+func (c *Counter) Sneak() {
+	c.bump() // want locks
+}
+
+// Peek reads the guarded field without taking the lock.
+func (c *Counter) Peek() int {
+	return c.n // want locks
+}

@@ -1,0 +1,38 @@
+// Package suppress exercises //botlint:ignore handling: a well-formed
+// suppression, one missing its reason, one naming an unknown rule, a stale
+// one, and a stale //botlint:sorted.
+package suppress
+
+import "time"
+
+// WallReasoned is the well-formed case: suppressed, with a reason.
+func WallReasoned() int64 {
+	//botlint:ignore determinism -- interop timestamp for an external log, not simulation time
+	return time.Now().UnixNano()
+}
+
+// WallNoReason suppresses without a reason: the finding is silenced but
+// the suppression itself is reported.
+func WallNoReason() int64 {
+	//botlint:ignore determinism
+	return time.Now().UnixNano()
+}
+
+// WallUnknownRule misspells the rule: nothing is suppressed and the
+// directive is reported.
+func WallUnknownRule() int64 {
+	//botlint:ignore determinisms -- typo in the rule name
+	return time.Now().UnixNano()
+}
+
+// Stale suppresses a rule that does not fire here.
+func Stale() int {
+	//botlint:ignore determinism -- nothing nondeterministic remains on this line
+	return 42
+}
+
+// StaleSorted justifies a map range that is not there.
+func StaleSorted() int {
+	//botlint:sorted
+	return 7
+}

@@ -19,6 +19,8 @@ type WallClock struct {
 }
 
 // NewWallClock returns a WallClock whose origin is the current instant.
+//
+//botlint:ignore determinism -- live-mode time source; the simulator never constructs a WallClock, it injects the DES virtual clock
 func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
 
 // NewWallClockAt returns a WallClock measuring from the given origin. The
@@ -31,4 +33,6 @@ func NewWallClockAt(origin time.Time) *WallClock { return &WallClock{start: orig
 func (c *WallClock) Origin() time.Time { return c.start }
 
 // Now implements Clock using the monotonic reading of the system clock.
+//
+//botlint:ignore determinism -- live-mode time source; sim runs read the virtual clock through the same Clock interface
 func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() }

@@ -159,6 +159,8 @@ func (d *dualIndex) publish(b *Bag, key float64, tie int) {
 // selectMin returns the minimum-keyed schedulable bag under thr. ok is
 // false when the index does not cover (s, thr) and the caller must fall
 // back to a linear scan.
+//
+//botlint:hotpath
 func (d *dualIndex) selectMin(s *Scheduler, thr int) (*Bag, bool) {
 	if d.s != s || (thr != 1 && thr != d.base) {
 		return nil, false
@@ -195,6 +197,7 @@ func (fcfsExcl) Name() string { return FCFSExcl.String() }
 
 func (fcfsExcl) Threshold(int) int { return math.MaxInt }
 
+//botlint:hotpath
 func (fcfsExcl) SelectBag(s *Scheduler, threshold int) *Bag {
 	if len(s.bags) == 0 {
 		return nil
@@ -234,6 +237,7 @@ func (p *fcfsShare) bagChanged(b *Bag) { p.idx.publish(b, float64(b.ID), 0) }
 
 func (p *fcfsShare) taskQueued(*Task) {}
 
+//botlint:hotpath
 func (p *fcfsShare) SelectBag(s *Scheduler, threshold int) *Bag {
 	if b, ok := p.idx.selectMin(s, threshold); ok {
 		return b
@@ -284,6 +288,7 @@ func (p *roundRobin) bagChanged(b *Bag) {
 
 func (p *roundRobin) taskQueued(*Task) {}
 
+//botlint:hotpath
 func (p *roundRobin) SelectBag(s *Scheduler, threshold int) *Bag {
 	n := len(s.bags)
 	if n == 0 {
@@ -305,6 +310,7 @@ func (p *roundRobin) SelectBag(s *Scheduler, threshold int) *Bag {
 	}
 	// Resume the circular order after the most recently served bag. Bags
 	// are kept in arrival (ID) order.
+	//botlint:ignore hotpath -- sort.Search does not retain its predicate, so the closure stays on the stack; BenchmarkDispatchDecision pins RR at 0 allocs/op
 	start := sort.Search(n, func(i int) bool { return s.bags[i].ID > p.lastID })
 	if start == n {
 		start = 0 // every bag has ID <= lastID: wrap
@@ -362,6 +368,7 @@ func (p *longIdle) bagChanged(b *Bag) {
 
 func (p *longIdle) taskQueued(t *Task) { p.idle.push(t) }
 
+//botlint:hotpath
 func (p *longIdle) SelectBag(s *Scheduler, threshold int) *Bag {
 	if p.s != s {
 		return longIdleScan(s, threshold)
@@ -399,6 +406,7 @@ func (p *randomPolicy) Name() string { return Random.String() }
 
 func (p *randomPolicy) Threshold(base int) int { return base }
 
+//botlint:hotpath
 func (p *randomPolicy) SelectBag(s *Scheduler, threshold int) *Bag {
 	p.scratch = p.scratch[:0]
 	for _, b := range s.bags {
@@ -434,6 +442,7 @@ func (p *fairShare) bagChanged(b *Bag) { p.idx.publish(b, float64(b.running), b.
 
 func (p *fairShare) taskQueued(*Task) {}
 
+//botlint:hotpath
 func (p *fairShare) SelectBag(s *Scheduler, threshold int) *Bag {
 	if b, ok := p.idx.selectMin(s, threshold); ok {
 		return b
@@ -473,6 +482,7 @@ func (p *sjfKB) bagChanged(b *Bag) { p.idx.publish(b, b.RemainingWork(), b.ID) }
 
 func (p *sjfKB) taskQueued(*Task) {}
 
+//botlint:hotpath
 func (p *sjfKB) SelectBag(s *Scheduler, threshold int) *Bag {
 	if b, ok := p.idx.selectMin(s, threshold); ok {
 		return b
@@ -491,6 +501,8 @@ func (p *sjfKB) SelectBag(s *Scheduler, threshold int) *Bag {
 
 // scanInOrder is the linear FCFS-Share selection, kept as the fallback for
 // unindexed (s, threshold) combinations.
+//
+//botlint:hotpath
 func scanInOrder(s *Scheduler, threshold int) *Bag {
 	for _, b := range s.bags {
 		if b.Schedulable(threshold) {
@@ -501,6 +513,8 @@ func scanInOrder(s *Scheduler, threshold int) *Bag {
 }
 
 // scanReplicable returns the oldest bag with a replicable running task.
+//
+//botlint:hotpath
 func scanReplicable(s *Scheduler, threshold int) *Bag {
 	for _, b := range s.bags {
 		if b.replicable(threshold) != nil {
@@ -512,6 +526,8 @@ func scanReplicable(s *Scheduler, threshold int) *Bag {
 
 // longIdleScan is the linear LongIdle selection, kept as the fallback for
 // a policy instance serving a foreign scheduler.
+//
+//botlint:hotpath
 func longIdleScan(s *Scheduler, threshold int) *Bag {
 	var best *Bag
 	bestKey := 0.0

@@ -393,6 +393,8 @@ func (s *Scheduler) Submit(granularity float64, works []float64) *Bag {
 
 // effectiveThreshold resolves the replication threshold for this dispatch
 // round: the dynamic-replication rule first, then the policy override.
+//
+//botlint:hotpath
 func (s *Scheduler) effectiveThreshold() int {
 	base := s.cfg.Threshold
 	if s.cfg.DynamicReplication && s.pendingTotal > 0 {

@@ -121,8 +121,11 @@ func (e *Engine) ScheduleFunc(delay float64, fn func(*Engine, any), arg any) Eve
 }
 
 // ScheduleFuncAt is ScheduleFunc with an absolute fire time.
+//
+//botlint:hotpath
 func (e *Engine) ScheduleFuncAt(t float64, fn func(*Engine, any), arg any) EventRef {
 	if math.IsNaN(t) || t < e.now {
+		//botlint:ignore hotpath -- panic path: formatting cost is irrelevant once the model is already broken
 		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
 	}
 	if fn == nil {
@@ -136,6 +139,8 @@ func (e *Engine) ScheduleFuncAt(t float64, fn func(*Engine, any), arg any) Event
 }
 
 // alloc takes an event from the pool or grows it.
+//
+//botlint:hotpath
 func (e *Engine) alloc() *event {
 	if n := len(e.pool); n > 0 {
 		ev := e.pool[n-1]
@@ -148,6 +153,8 @@ func (e *Engine) alloc() *event {
 
 // recycle invalidates every outstanding EventRef to ev and returns its
 // storage to the pool.
+//
+//botlint:hotpath
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.index = -1
@@ -169,6 +176,8 @@ func (e *Engine) Cancel(ref EventRef) {
 
 // Step executes the single earliest event. It returns false when the queue
 // is empty or the engine was stopped.
+//
+//botlint:hotpath
 func (e *Engine) Step() bool {
 	if e.stopped || len(e.heap) == 0 {
 		return false

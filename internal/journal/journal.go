@@ -334,6 +334,8 @@ func loadOrInitMeta(dir string, epoch time.Time) (time.Time, bool, error) {
 // Append encodes r and queues it for the group-commit syncer, returning
 // the record's LSN. The record is NOT durable yet; pair with WaitDurable
 // when the caller must not acknowledge before durability.
+//
+//botlint:hotpath
 func (j *Journal) Append(r *Record) (uint64, error) {
 	j.mu.Lock()
 	if j.err != nil {
@@ -357,6 +359,8 @@ func (j *Journal) Append(r *Record) (uint64, error) {
 
 // EncodeRecordFramed appends r's framed encoding to dst. Exposed for the
 // scratch-free encode path and for tests that build segment images.
+//
+//botlint:hotpath
 func EncodeRecordFramed(dst []byte, r *Record) []byte {
 	// Encode into the tail of dst past a reserved frame header, then fill
 	// the header in — one pass, no scratch buffer.

@@ -69,7 +69,11 @@ func recoveredOrigin(rec *journal.Recovered) time.Time {
 }
 
 // restore rebuilds the server's entire mutable state from a recovered
-// journal. Runs during NewServer, before any request can arrive.
+// journal. Runs during NewServer, before any request can arrive, so the
+// constructor owns the state exclusively — annotated as holding mu to make
+// that exclusivity explicit at the call site.
+//
+//botlint:holds mu
 func (s *Server) restore(rec *journal.Recovered, pol core.Policy) error {
 	st := rec.State
 	now := s.clock.Now()
@@ -153,6 +157,8 @@ func (s *Server) restore(rec *journal.Recovered, pol core.Policy) error {
 // journalMutation is the scheduler's mutation sink: every state transition
 // becomes one journal record. Runs synchronously under mu, inside the
 // scheduler call that caused the mutation.
+//
+//botlint:holds mu
 func (s *Server) journalMutation(m core.Mutation) {
 	if m.Kind == core.MutBagCompleted {
 		// The scheduler drops completed bags; archive the final status
@@ -175,6 +181,8 @@ func (s *Server) journalMutation(m core.Mutation) {
 
 // journalWorker records a worker's slot binding (or power change). Must be
 // called with mu held; no-op without a journal.
+//
+//botlint:holds mu
 func (s *Server) journalWorker(ws *workerState) {
 	if s.jnl == nil {
 		return
@@ -194,6 +202,8 @@ func (s *Server) journalWorker(ws *workerState) {
 // record at most every seenQuant seconds so recovered lease deadlines are
 // accurate without heartbeats dominating the log. Must be called with mu
 // held; returns the current time.
+//
+//botlint:holds mu
 func (s *Server) touch(ws *workerState) float64 {
 	now := s.clock.Now()
 	ws.lastSeen = now
@@ -208,6 +218,9 @@ func (s *Server) touch(ws *workerState) float64 {
 // server's state. Append errors are not surfaced here — the journal holds
 // its first fatal error and waitDurable reports it to the requests that
 // need durability. Must be called with mu held.
+//
+//botlint:holds mu
+//botlint:hotpath
 func (s *Server) appendRec(r *journal.Record) {
 	if lsn, err := s.jnl.Append(r); err == nil {
 		s.lastLSN = lsn
@@ -235,6 +248,8 @@ func (s *Server) captureState() (*journal.State, uint64) {
 // captureStateLocked builds the durable State and the LSN it covers: all
 // journaling happens under mu, so lastLSN is exactly the newest record
 // reflected in the captured state. Must be called with mu held.
+//
+//botlint:holds mu
 func (s *Server) captureStateLocked() (*journal.State, uint64) {
 	st := &journal.State{
 		Time:      s.clock.Now(),

@@ -14,12 +14,12 @@ import (
 // the retained window. Both the server (decision latency) and the load
 // generator (fetch round-trips) use it.
 type LatencyRecorder struct {
-	mu      sync.Mutex
-	ring    []float64 // seconds
-	idx     int
-	filled  bool
-	count   int
-	max     float64
+	mu     sync.Mutex
+	ring   []float64 // seconds
+	idx    int
+	filled bool
+	count  int
+	max    float64
 }
 
 // NewLatencyRecorder returns a recorder retaining the last window samples

@@ -117,22 +117,22 @@ type LatencySummary struct {
 
 // StatsResponse is the /v1/stats snapshot.
 type StatsResponse struct {
-	Policy          string       `json:"policy"`
-	Now             float64      `json:"now"`
-	Workers         int          `json:"workers"`
-	LiveWorkers     int          `json:"live_workers"`
-	FreeWorkers     int          `json:"free_workers"`
-	PendingTasks    int          `json:"pending_tasks"`
-	RunningReplicas int          `json:"running_replicas"`
-	BagsSubmitted   int          `json:"bags_submitted"`
-	BagsCompleted   int          `json:"bags_completed"`
-	TasksCompleted  int          `json:"tasks_completed"`
-	ReplicasStarted int          `json:"replicas_started"`
-	ReplicasKilled  int          `json:"replicas_killed"`
-	ReplicaFailures int          `json:"replica_failures"`
-	LeaseExpiries   int          `json:"lease_expiries"`
-	StaleReports    int          `json:"stale_reports"`
-	Bags            []BagStatus  `json:"bags"`
+	Policy          string         `json:"policy"`
+	Now             float64        `json:"now"`
+	Workers         int            `json:"workers"`
+	LiveWorkers     int            `json:"live_workers"`
+	FreeWorkers     int            `json:"free_workers"`
+	PendingTasks    int            `json:"pending_tasks"`
+	RunningReplicas int            `json:"running_replicas"`
+	BagsSubmitted   int            `json:"bags_submitted"`
+	BagsCompleted   int            `json:"bags_completed"`
+	TasksCompleted  int            `json:"tasks_completed"`
+	ReplicasStarted int            `json:"replicas_started"`
+	ReplicasKilled  int            `json:"replicas_killed"`
+	ReplicaFailures int            `json:"replica_failures"`
+	LeaseExpiries   int            `json:"lease_expiries"`
+	StaleReports    int            `json:"stale_reports"`
+	Bags            []BagStatus    `json:"bags"`
 	DecisionLatency LatencySummary `json:"decision_latency"`
 
 	// Journal and Recovery report the durability subsystem: journal

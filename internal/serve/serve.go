@@ -111,18 +111,27 @@ type Server struct {
 
 	decLat *LatencyRecorder
 
-	mu       sync.Mutex
-	g        *grid.Grid
-	sched    *core.Scheduler
-	workers  map[string]*workerState
-	bags     map[int]*core.Bag // live bags by ID; bags finished pre-recovery are only in doneBags
-	bagIDs   []int             // submission order, completed included
+	mu sync.Mutex
+	//botlint:guarded-by mu
+	g *grid.Grid
+	//botlint:guarded-by mu
+	sched *core.Scheduler
+	//botlint:guarded-by mu
+	workers map[string]*workerState
+	//botlint:guarded-by mu
+	bags map[int]*core.Bag // live bags by ID; bags finished pre-recovery are only in doneBags
+	//botlint:guarded-by mu
+	bagIDs []int // submission order, completed included
+	//botlint:guarded-by mu
 	doneBags map[int]BagStatus // frozen snapshots; a completed bag never changes
-	met      counters
+	//botlint:guarded-by mu
+	met counters
 
 	// Journal state (all nil/zero when cfg.DataDir is empty).
-	jnl       *journal.Journal
-	lastLSN   uint64                 // LSN of the newest record covering current state
+	jnl *journal.Journal
+	//botlint:guarded-by mu
+	lastLSN uint64 // LSN of the newest record covering current state
+	//botlint:guarded-by mu
 	completed []journal.CompletedBag // durable record of finished bags
 	recov     *RecoveryInfo
 	seenQuant float64 // min seconds between journaled WorkerSeen per worker
@@ -198,12 +207,15 @@ func NewServer(cfg Config) (*Server, error) {
 		if s.seenQuant <= 0 {
 			s.seenQuant = 1
 		}
+		//botlint:ignore locks -- constructor: no goroutine can observe s before NewServer returns
 		if err := s.restore(rec, pol); err != nil {
-			jnl.Close()
+			err = errors.Join(err, jnl.Close())
 			return nil, fmt.Errorf("recovering %s: %w", cfg.DataDir, err)
 		}
+		//botlint:ignore locks -- constructor: no goroutine can observe s before NewServer returns
 		s.sched.SetMutationSink(s.journalMutation)
 	} else {
+		//botlint:ignore locks -- constructor: no goroutine can observe s before NewServer returns
 		s.sched = core.NewLiveScheduler(clock, g, pol, cfg.Sched, cfg.Observer)
 	}
 	s.mux.HandleFunc("POST /v1/bags", s.handleSubmit)
@@ -293,6 +305,8 @@ func (s *Server) ExpireLeases() int {
 
 // worker returns the registered worker, creating it on first contact while
 // slots remain. Must be called with mu held.
+//
+//botlint:holds mu
 func (s *Server) worker(id string) (*workerState, error) {
 	if w, ok := s.workers[id]; ok {
 		return w, nil
@@ -309,6 +323,8 @@ func (s *Server) worker(id string) (*workerState, error) {
 
 // revive brings an absent worker's slot back into the grid. Must be called
 // with mu held.
+//
+//botlint:holds mu
 func (s *Server) revive(w *workerState) {
 	if !w.m.Up() {
 		w.m.ForceRepair(s.clock.Now())
@@ -370,6 +386,8 @@ func (s *Server) handleBag(w http.ResponseWriter, r *http.Request) {
 // frozen-snapshot cache (a completed bag never changes, so its snapshot is
 // computed at most once; bags finished before a recovery only exist
 // there). Must be called with mu held.
+//
+//botlint:holds mu
 func (s *Server) bagStatusByID(id int) (BagStatus, bool) {
 	if bs, ok := s.doneBags[id]; ok {
 		return bs, true
@@ -386,6 +404,8 @@ func (s *Server) bagStatusByID(id int) (BagStatus, bool) {
 }
 
 // bagStatus snapshots b. Must be called with mu held.
+//
+//botlint:holds mu
 func bagStatus(b *core.Bag) BagStatus {
 	st := BagStatus{
 		Bag:         b.ID,
@@ -536,6 +556,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // statsLocked snapshots the scheduler. Must be called with mu held; the
 // caller fills DecisionLatency after releasing mu.
+//
+//botlint:holds mu
 func (s *Server) statsLocked() StatsResponse {
 	live := 0
 	for _, ws := range s.workers {
@@ -557,8 +579,8 @@ func (s *Server) statsLocked() StatsResponse {
 		ReplicasStarted: s.sched.ReplicasStarted(),
 		ReplicasKilled:  s.sched.ReplicasKilled(),
 		ReplicaFailures: s.sched.ReplicaFailures(),
-		LeaseExpiries: s.met.LeaseExpiries,
-		StaleReports:  s.met.StaleReports,
+		LeaseExpiries:   s.met.LeaseExpiries,
+		StaleReports:    s.met.StaleReports,
 	}
 	st.Bags = make([]BagStatus, 0, len(s.bagIDs))
 	for _, id := range s.bagIDs {
