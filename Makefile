@@ -11,7 +11,11 @@
 #                (append + recovery-replay) micro-benchmarks, recorded to
 #                BENCH_sched.json; fails if any dispatch-decision
 #                benchmark — including the fsync=off journaled twin —
-#                reports a nonzero allocs/op
+#                reports a nonzero allocs/op. Then the whole-simulation
+#                replication suite (ladder engine vs the pre-ladder heap
+#                baseline, each engine in its own process so GC pacing
+#                starts equal, 3 runs per cell, medians) recorded as
+#                events/sec per configuration to BENCH_des.json
 #   make check   everything the CI gate runs
 
 GO ?= go
@@ -43,6 +47,12 @@ bench:
 	$(GO) run ./cmd/benchjson -require-zero-allocs '^BenchmarkDispatchDecision' < bench.out > BENCH_sched.json
 	@rm -f bench.out
 	@echo "wrote BENCH_sched.json"
+	@{ $(GO) test -bench '^BenchmarkReplication$$' -benchmem -benchtime 1x -count 3 -timeout 60m -run '^$$' ./internal/core/ && \
+	   $(GO) test -bench '^BenchmarkReplicationBaselineHeap$$' -benchmem -benchtime 1x -count 3 -timeout 60m -run '^$$' ./internal/core/ ; } \
+	 | tee benchdes.out
+	$(GO) run ./cmd/benchjson -median < benchdes.out > BENCH_des.json
+	@rm -f benchdes.out
+	@echo "wrote BENCH_des.json"
 
 check: build vet lint test race
 

@@ -2,9 +2,18 @@
 // stable JSON document on stdout, so benchmark results can be checked in and
 // diffed across commits (see `make bench`, which writes BENCH_sched.json).
 //
-// Only the standard columns are parsed: iterations, ns/op and — with
-// -benchmem — B/op and allocs/op. Environment header lines (goos, goarch,
-// cpu, pkg) are carried through verbatim; anything else is ignored.
+// The standard columns — iterations, ns/op and (with -benchmem) B/op and
+// allocs/op — get dedicated fields; any other "value unit" pair on the
+// line (a b.ReportMetric metric such as the replication suite's
+// events/sec) lands in the metrics map under its unit name. Environment
+// header lines (goos, goarch, cpu, pkg) are carried through verbatim;
+// anything else is ignored.
+//
+// -median collapses repeated lines with the same name (a `go test
+// -count=N` run) into one entry holding the per-column medians. Whole-
+// simulation benchmarks need this: on a busy host a single run's
+// events/sec can swing by tens of percent, and the median of a handful of
+// runs is the robust summary worth checking in.
 //
 // -require-zero-allocs RE makes the run a gate as well as a recorder:
 // every benchmark whose name matches RE must report 0 allocs/op, and at
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +48,12 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds b.ReportMetric values keyed by unit, e.g.
+	// "events/sec" for the replication throughput suite.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Samples is how many runs this entry summarizes; >1 only after
+	// -median collapses a -count=N series.
+	Samples int `json:"samples,omitempty"`
 }
 
 // Report is the full document.
@@ -51,6 +67,8 @@ type Report struct {
 func main() {
 	zeroAllocs := flag.String("require-zero-allocs", "",
 		"regexp of benchmark names that must report 0 allocs/op (at least one must match)")
+	median := flag.Bool("median", false,
+		"collapse repeated benchmark names (go test -count=N) into per-column medians")
 	flag.Parse()
 	var zeroRE *regexp.Regexp
 	if *zeroAllocs != "" {
@@ -90,6 +108,9 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *median {
+		rep.Benchmarks = collapseMedians(rep.Benchmarks)
 	}
 	if zeroRE != nil {
 		matched, failed := 0, 0
@@ -142,7 +163,66 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp, _ = strconv.ParseInt(f[i], 10, 64)
 		case "allocs/op":
 			b.AllocsPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+		default:
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[f[i+1]] = v
 		}
 	}
 	return b, true
+}
+
+// collapseMedians merges benchmarks sharing a (pkg, name) into a single
+// entry with the median of every numeric column, preserving first-seen
+// order. Iterations are summed — the total observations behind the entry.
+func collapseMedians(in []Benchmark) []Benchmark {
+	type key struct{ pkg, name string }
+	order := []key{}
+	groups := map[key][]Benchmark{}
+	for _, b := range in {
+		k := key{b.Pkg, b.Name}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		m := Benchmark{Name: k.name, Pkg: k.pkg, Samples: len(g)}
+		var ns, bytes, allocs []float64
+		metrics := map[string][]float64{}
+		for _, b := range g {
+			m.Iterations += b.Iterations
+			ns = append(ns, b.NsPerOp)
+			bytes = append(bytes, float64(b.BytesPerOp))
+			allocs = append(allocs, float64(b.AllocsPerOp))
+			for unit, v := range b.Metrics {
+				metrics[unit] = append(metrics[unit], v)
+			}
+		}
+		m.NsPerOp = medianOf(ns)
+		m.BytesPerOp = int64(medianOf(bytes))
+		m.AllocsPerOp = int64(medianOf(allocs))
+		for unit, vs := range metrics {
+			if m.Metrics == nil {
+				m.Metrics = map[string]float64{}
+			}
+			m.Metrics[unit] = medianOf(vs)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// medianOf returns the median (lower-middle for even counts, so the value
+// is always one actually observed).
+func medianOf(vs []float64) float64 {
+	sort.Float64s(vs)
+	return vs[(len(vs)-1)/2]
 }

@@ -8,6 +8,12 @@
 //	sweep -figure all -quick          # all panels, 10×-scaled quick mode
 //	sweep -ablation threshold         # the A1 replication-threshold sweep
 //	sweep -figure F2c -chart          # ASCII bar chart instead of a table
+//
+// The -cpuprofile, -memprofile and -trace flags capture pprof/trace data
+// for the whole sweep, written when the run exits cleanly:
+//
+//	sweep -figure F1a -quick -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -15,6 +21,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -44,6 +53,9 @@ func main() {
 		scale    = flag.Float64("scale", 0, "override grid/application scale factor (0,1]")
 		policies = flag.String("policies", "", "comma list of policies (default: the paper's five)")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (default GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on clean exit")
+		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -51,6 +63,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: specify -figure, -ablation or -load (see -h)")
 		os.Exit(2)
 	}
+
+	// Profiling stops (and the files land) only on a clean exit: fatal()
+	// paths exit immediately, leaving truncated profiles behind rather
+	// than masking the error.
+	stopProfiles, err := startProfiles(*cpuProf, *memProf, *traceOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	opts := experiment.DefaultOptions(*seed)
 	if *quick {
@@ -284,6 +305,68 @@ func runAblations(spec string, opts experiment.Options) {
 	if !ran {
 		fatal(fmt.Errorf("unknown ablation %q (threshold|dynrep|ckpt|machsel|taskorder|servercap|taskdist|diurnal|suspend|arch|mixed|all)", spec))
 	}
+}
+
+// startProfiles begins the CPU profile and execution trace immediately
+// and returns a stop function that finishes them and writes the heap
+// profile. Empty paths are skipped; any file that cannot be created is an
+// error up front, before hours of sweeping.
+func startProfiles(cpuPath, memPath, tracePath string) (func(), error) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			closeProfile(f, cpuPath)
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			closeProfile(f, tracePath)
+		})
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, func() {
+			runtime.GC() // flush recent frees so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: writing %s: %v\n", memPath, err)
+			}
+			closeProfile(f, memPath)
+		})
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}, nil
+}
+
+func closeProfile(f *os.File, path string) {
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: closing %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func fatal(err error) {

@@ -50,3 +50,24 @@ func Slow(release func(), n int) func() int {
 	fmt.Println(n)
 	return func() int { return n }
 }
+
+// InsertSorted places v into a descending slice with a binary search and
+// an in-place shift — the ladder queue's bottom-window insert. The append
+// feeds back into its operand and the copy allocates nothing.
+//
+//botlint:hotpath
+func InsertSorted(s []int, v int) []int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v > s[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
+}

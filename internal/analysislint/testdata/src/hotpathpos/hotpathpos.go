@@ -2,7 +2,10 @@
 // hygiene rule: each forbidden construct in its own annotated function.
 package hotpathpos
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Log formats on the hot path.
 //
@@ -48,4 +51,13 @@ func BoxAssign(v [4]float64) any {
 	var x any
 	x = v // want hotpath
 	return x
+}
+
+// SortBucket sorts a queue bucket through sort.Slice, which boxes the
+// slice into an interface and builds a capturing less closure — the exact
+// shape the DES ladder queue's hand-rolled sort exists to avoid.
+//
+//botlint:hotpath
+func SortBucket(items []int) {
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] }) // want hotpath hotpath
 }

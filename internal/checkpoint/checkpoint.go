@@ -77,6 +77,12 @@ type Server struct {
 	active   int
 	queue    []*Transfer
 	maxQueue int
+
+	// pool recycles Transfer structs: a simulation issues one save or
+	// retrieve per checkpoint interval per replica, and allocating each
+	// handle fresh made the server the second-largest allocation site of
+	// a run. Recycled handles go stale, see Transfer.
+	pool []*Transfer
 }
 
 // NewServer builds a server drawing transfer times from str.

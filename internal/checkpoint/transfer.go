@@ -9,6 +9,13 @@ import (
 // Transfer is one in-flight or queued checkpoint transfer. Handles are
 // cancellable because the requesting replica may be killed (machine
 // failure, sibling completion) while the transfer waits or runs.
+//
+// A handle goes stale once the transfer completes or is cancelled: the
+// server recycles the struct for later transfers, so callers must drop
+// stale handles rather than call Cancel on them (the scheduler nils its
+// reference at exactly those points). This mirrors the des.EventRef
+// contract, minus the generation stamp: the single-owner discipline of
+// the scheduler makes the stamp unnecessary.
 type Transfer struct {
 	srv       *Server
 	duration  float64
@@ -40,7 +47,15 @@ func (s *Server) StartTransfer(e *des.Engine, duration float64, done func(arg an
 	if duration < 0 {
 		panic(fmt.Sprintf("checkpoint: negative transfer duration %v", duration))
 	}
-	t := &Transfer{srv: s, duration: duration, done: done, arg: arg}
+	var t *Transfer
+	if n := len(s.pool); n > 0 {
+		t = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		*t = Transfer{srv: s, duration: duration, done: done, arg: arg}
+	} else {
+		t = &Transfer{srv: s, duration: duration, done: done, arg: arg}
+	}
 	if s.cfg.Capacity <= 0 || s.active < s.cfg.Capacity {
 		t.begin(e)
 	} else {
@@ -58,6 +73,15 @@ func transferComplete(e *des.Engine, arg any) {
 	t.srv.active--
 	t.srv.drain(e)
 	t.done(t.arg)
+	t.srv.recycle(t)
+}
+
+// recycle returns a finished or cancelled transfer's storage to the pool.
+// The caller guarantees no live handle remains (see Transfer).
+func (s *Server) recycle(t *Transfer) {
+	t.done = nil
+	t.arg = nil
+	s.pool = append(s.pool, t)
 }
 
 func (t *Transfer) begin(e *des.Engine) {
@@ -77,8 +101,9 @@ func (t *Transfer) Cancel(e *des.Engine) {
 		e.Cancel(t.ev)
 		t.srv.active--
 		t.srv.drain(e)
+		t.srv.recycle(t)
 	}
-	// Queued entries are skipped lazily by drain.
+	// Queued entries are skipped lazily (and recycled) by drain.
 }
 
 // drain starts queued transfers while capacity is available.
@@ -87,6 +112,7 @@ func (s *Server) drain(e *des.Engine) {
 		t := s.queue[0]
 		s.queue = s.queue[1:]
 		if t.cancelled {
+			s.recycle(t)
 			continue
 		}
 		t.begin(e)

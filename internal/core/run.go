@@ -46,6 +46,12 @@ type RunConfig struct {
 	HorizonFactor float64
 	// Observer, when non-nil, receives every scheduling event.
 	Observer Observer
+
+	// newEngine, when non-nil, replaces the event-queue implementation.
+	// It is unexported (in-package tests and benchmarks only): production
+	// runs always use the default ladder engine, while the parity test and
+	// the replication benchmarks swap in des.NewBaselineHeap.
+	newEngine func() *des.Engine
 }
 
 // withDefaults fills zero-valued knobs.
@@ -172,6 +178,32 @@ func (r Result) Turnarounds() []float64 {
 	return out
 }
 
+// Runner executes simulations on one reused engine: the event arena, the
+// queue-tier capacities and the rung free-list grown by a run stay warm
+// for the next, so a caller that executes many replications back-to-back
+// (a sweep cell, a replication benchmark) pays the allocator's growth
+// cost once rather than once per run. Results are bit-identical to Run —
+// des.Engine.Reset carries capacity forward, never state. The zero value
+// is ready to use. A Runner is not safe for concurrent use; give each
+// worker goroutine its own.
+type Runner struct {
+	eng *des.Engine
+}
+
+// Run executes one simulation like the package-level Run, on the warm
+// engine. A config that injects its own engine (newEngine) bypasses reuse.
+func (r *Runner) Run(cfg RunConfig) (Result, error) {
+	if cfg.newEngine == nil {
+		if r.eng == nil {
+			r.eng = des.New()
+		}
+		r.eng.Reset()
+		eng := r.eng
+		cfg.newEngine = func() *des.Engine { return eng }
+	}
+	return Run(cfg)
+}
+
 // Run executes one simulation and returns its results. It is deterministic
 // in cfg (including Seed) and safe to call from multiple goroutines with
 // distinct configs.
@@ -182,6 +214,9 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	eng := des.New()
+	if cfg.newEngine != nil {
+		eng = cfg.newEngine()
+	}
 	g := grid.Build(cfg.Grid, rng.Root(cfg.Seed, "grid-build"))
 	ck := checkpoint.NewServer(cfg.Checkpoint, rng.Root(cfg.Seed, "checkpoint"))
 	pol := NewPolicy(cfg.Policy, rng.Root(cfg.Seed, "policy"))

@@ -220,6 +220,38 @@ type Scheduler struct {
 	mstate    []machState
 	freeStack []freeEntry
 	freeCount int
+	freeStale int // stack entries invalidated since the last compaction
+
+	// replicaPool recycles Replica structs (simulation mode only). A run
+	// starts one replica per dispatch — by far the largest allocation
+	// site — and a replica is unreferenced once its task completes or
+	// its machine fails, so the storage can back the next dispatch. Live
+	// mode never pools: external workers hold replica pointers across
+	// kills and validate staleness by pointer identity (see ReplicaOn),
+	// which reuse would break.
+	replicaPool []*Replica
+}
+
+// newReplica takes a Replica from the pool or allocates one.
+func (s *Scheduler) newReplica() *Replica {
+	if n := len(s.replicaPool); n > 0 {
+		r := s.replicaPool[n-1]
+		s.replicaPool[n-1] = nil
+		s.replicaPool = s.replicaPool[:n-1]
+		return r
+	}
+	return &Replica{}
+}
+
+// freeReplica returns a dead replica's storage to the pool. Callers
+// guarantee no reference remains: the task's replica list, the machine
+// state and all scheduled work have already been cleared.
+func (s *Scheduler) freeReplica(r *Replica) {
+	if s.eng == nil {
+		return
+	}
+	*r = Replica{}
+	s.replicaPool = append(s.replicaPool, r)
 }
 
 // NewScheduler wires a scheduler to an engine, grid and checkpoint server.
@@ -444,6 +476,29 @@ func (s *Scheduler) pushFree(m *grid.Machine) {
 	s.freeCount++
 }
 
+// noteStaleFree records that a free-stack entry was invalidated and, once
+// stale entries outnumber live ones, compacts the stack in place. The
+// filter preserves entry order, so dispatch pops the same machines in the
+// same order as the purely lazy scheme; without the sweep a wide grid
+// whose idle machines churn through failure/repair cycles between
+// dispatches grows the stack by one dead entry per failure for the whole
+// run.
+func (s *Scheduler) noteStaleFree() {
+	s.freeStale++
+	if s.freeStale <= 64 || s.freeStale <= s.freeCount {
+		return
+	}
+	kept := s.freeStack[:0]
+	for _, e := range s.freeStack {
+		st := &s.mstate[e.m.ID]
+		if st.free && st.epoch == e.epoch {
+			kept = append(kept, e)
+		}
+	}
+	s.freeStack = kept
+	s.freeStale = 0
+}
+
 // takeFreeMachine pops a valid free machine (LIFO, knowledge-free) or the
 // fastest free one when FastestMachineFirst is set. Stale stack entries
 // (invalidated by failures) are discarded lazily.
@@ -459,6 +514,9 @@ func (s *Scheduler) takeFreeMachine() *grid.Machine {
 			st.free = false
 			s.freeCount--
 			return e.m
+		}
+		if s.freeStale > 0 {
+			s.freeStale--
 		}
 	}
 	return nil
@@ -476,6 +534,7 @@ func (s *Scheduler) takeFastestFree() *grid.Machine {
 	}
 	s.mstate[best.ID].free = false // its stack entry goes stale
 	s.freeCount--
+	s.noteStaleFree()
 	return best
 }
 
@@ -494,7 +553,8 @@ func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
 			b.FirstStart = now
 		}
 	}
-	r := &Replica{Task: t, Machine: m, Started: now, done: t.Checkpointed}
+	r := s.newReplica()
+	r.Task, r.Machine, r.Started, r.done = t, m, now, t.Checkpointed
 	t.Replicas = append(t.Replicas, r)
 	b.replicaCountChanged(t)
 	b.running++
@@ -502,8 +562,10 @@ func (s *Scheduler) startReplica(t *Task, m *grid.Machine, restart bool) {
 	s.replicasStarted++
 	r.Seq = uint64(s.replicasStarted)
 	s.mstate[m.ID].replica = r
-	s.emit(Mutation{Kind: MutReplicaStarted, Time: now, Bag: b.ID, Task: t.ID,
-		Machine: m.ID, Seq: r.Seq, Restart: restart})
+	if s.sink != nil {
+		s.emit(Mutation{Kind: MutReplicaStarted, Time: now, Bag: b.ID, Task: t.ID,
+			Machine: m.ID, Seq: r.Seq, Restart: restart})
+	}
 	s.obs.ReplicaStarted(now, r, restart)
 	if s.eng == nil {
 		// Live mode: the worker holding m executes the replica and
@@ -583,8 +645,9 @@ func (s *Scheduler) completeTask(r *Replica) {
 	b.doneTasks++
 	b.doneWork += t.Work
 	b.unmarkRunning(t)
-	killed := len(t.Replicas) - 1
-	for _, rep := range t.Replicas {
+	reps := t.Replicas
+	killed := len(reps) - 1
+	for _, rep := range reps {
 		s.cancelReplicaWork(rep)
 		st := &s.mstate[rep.Machine.ID]
 		st.replica = nil
@@ -592,24 +655,33 @@ func (s *Scheduler) completeTask(r *Replica) {
 			s.pushFree(rep.Machine)
 		}
 	}
-	k := len(t.Replicas)
+	k := len(reps)
 	t.Replicas = nil
 	b.running -= k
 	s.totalRunning -= k
 	s.tasksCompleted++
 	s.replicasKilled += killed
 	s.noteBag(b) // a complete bag re-indexes nowhere: entries just go stale
-	s.emit(Mutation{Kind: MutTaskCompleted, Time: now, Bag: b.ID, Task: t.ID, Seq: r.Seq})
+	if s.sink != nil {
+		s.emit(Mutation{Kind: MutTaskCompleted, Time: now, Bag: b.ID, Task: t.ID, Seq: r.Seq})
+	}
 	s.obs.TaskCompleted(now, t, killed)
 	if b.Complete() {
 		b.DoneAt = now
 		s.removeBag(b)
 		s.completed++
-		s.emit(Mutation{Kind: MutBagCompleted, Time: now, Bag: b.ID})
+		if s.sink != nil {
+			s.emit(Mutation{Kind: MutBagCompleted, Time: now, Bag: b.ID})
+		}
 		s.obs.BagCompleted(now, b)
 		if s.OnBagDone != nil {
 			s.OnBagDone(b)
 		}
+	}
+	// The replicas are unreferenced now (emit and observers above copy
+	// what they need), so their storage can back the dispatches below.
+	for _, rep := range reps {
+		s.freeReplica(rep)
 	}
 	s.dispatch()
 }
@@ -672,8 +744,11 @@ func (s *Scheduler) MachineFailed(m *grid.Machine) {
 	if st.free {
 		st.free = false // its stack entry goes stale
 		s.freeCount--
+		s.noteStaleFree()
 	}
-	s.emit(Mutation{Kind: MutMachineDown, Time: now, Machine: m.ID})
+	if s.sink != nil {
+		s.emit(Mutation{Kind: MutMachineDown, Time: now, Machine: m.ID})
+	}
 	s.obs.MachineFailed(now, m)
 	r := st.replica
 	if r == nil {
@@ -703,6 +778,7 @@ func (s *Scheduler) MachineFailed(m *grid.Machine) {
 		s.noteQueued(t)
 	}
 	s.noteBag(b)
+	s.freeReplica(r)
 	// A newly-pending task may be servable by machines that were idle
 	// for lack of schedulable work.
 	s.dispatch()
@@ -712,7 +788,9 @@ func (s *Scheduler) MachineFailed(m *grid.Machine) {
 // SchedConfig.SuspendOnFailure) resumes; otherwise the machine rejoins the
 // free pool.
 func (s *Scheduler) MachineRepaired(m *grid.Machine) {
-	s.emit(Mutation{Kind: MutMachineUp, Time: s.clock.Now(), Machine: m.ID})
+	if s.sink != nil {
+		s.emit(Mutation{Kind: MutMachineUp, Time: s.clock.Now(), Machine: m.ID})
+	}
 	s.obs.MachineRepaired(s.clock.Now(), m)
 	if r := s.mstate[m.ID].replica; r != nil && r.Suspended {
 		s.resumeReplica(r)
@@ -787,9 +865,13 @@ func (s *Scheduler) CheckInvariants() {
 				if len(t.Replicas) == 0 {
 					panic("core: running task with no replicas")
 				}
-				if t.runIdx < 0 || t.runIdx >= b.runHeap.len() || b.runHeap.ts[t.runIdx] != t {
+				if t.runIdx < 0 || t.runIdx >= b.runHeap.len() || b.runHeap.es[t.runIdx].t != t {
 					panic(fmt.Sprintf("core: task %d/%d has bad run-heap index %d",
 						b.ID, t.ID, t.runIdx))
+				}
+				if b.runHeap.es[t.runIdx].key != runKey(t) {
+					panic(fmt.Sprintf("core: task %d/%d has stale run-heap key",
+						b.ID, t.ID))
 				}
 				br += len(t.Replicas)
 				runTasks++

@@ -316,49 +316,56 @@ func (q *pendingQueue) pop() *Task {
 // runHeap is an intrusive indexed min-heap of a bag's running tasks,
 // ordered by (replica count, task ID). The top answers both replicable()
 // and minRunReplicas() in O(1); replica-count changes restore the heap in
-// O(log n) via the position each task tracks in runIdx.
+// O(log n) via the position each task tracks in runIdx. Entries carry the
+// key inline — replica count in the high bits, task ID in the low — so
+// sift compares read the heap's own contiguous array instead of
+// dereferencing two tasks per comparison.
 type runHeap struct {
-	ts []*Task
+	es []runEntry
 }
 
-func (h *runHeap) len() int { return len(h.ts) }
+// runEntry is one running task with its ordering key held inline.
+type runEntry struct {
+	key uint64
+	t   *Task
+}
+
+// runKey packs t's heap key. Task IDs are bag-local and far below 2^32,
+// so the packed order equals the lexicographic (replica count, ID) order.
+func runKey(t *Task) uint64 {
+	return uint64(len(t.Replicas))<<32 | uint64(uint32(t.ID))
+}
+
+func (h *runHeap) len() int { return len(h.es) }
 
 // top returns the running task with the fewest replicas (lowest ID on
 // ties), or nil when empty.
 func (h *runHeap) top() *Task {
-	if len(h.ts) == 0 {
+	if len(h.es) == 0 {
 		return nil
 	}
-	return h.ts[0]
-}
-
-func (h *runHeap) less(i, j int) bool {
-	a, b := h.ts[i], h.ts[j]
-	if len(a.Replicas) != len(b.Replicas) {
-		return len(a.Replicas) < len(b.Replicas)
-	}
-	return a.ID < b.ID
+	return h.es[0].t
 }
 
 func (h *runHeap) swap(i, j int) {
-	h.ts[i], h.ts[j] = h.ts[j], h.ts[i]
-	h.ts[i].runIdx = i
-	h.ts[j].runIdx = j
+	h.es[i], h.es[j] = h.es[j], h.es[i]
+	h.es[i].t.runIdx = i
+	h.es[j].t.runIdx = j
 }
 
 func (h *runHeap) push(t *Task) {
-	t.runIdx = len(h.ts)
-	h.ts = append(h.ts, t)
+	t.runIdx = len(h.es)
+	h.es = append(h.es, runEntry{key: runKey(t), t: t})
 	h.up(t.runIdx)
 }
 
 func (h *runHeap) remove(t *Task) {
-	i, n := t.runIdx, len(h.ts)-1
+	i, n := t.runIdx, len(h.es)-1
 	if i != n {
 		h.swap(i, n)
 	}
-	h.ts[n] = nil
-	h.ts = h.ts[:n]
+	h.es[n] = runEntry{}
+	h.es = h.es[:n]
 	if i < n {
 		if !h.down(i) {
 			h.up(i)
@@ -367,17 +374,20 @@ func (h *runHeap) remove(t *Task) {
 	t.runIdx = -1
 }
 
-// fix restores the heap property around t after its key changed.
+// fix re-derives t's key and restores the heap property around it after
+// its replica count changed.
 func (h *runHeap) fix(t *Task) {
-	if !h.down(t.runIdx) {
-		h.up(t.runIdx)
+	i := t.runIdx
+	h.es[i].key = runKey(t)
+	if !h.down(i) {
+		h.up(i)
 	}
 }
 
 func (h *runHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		if h.es[i].key >= h.es[parent].key {
 			break
 		}
 		h.swap(i, parent)
@@ -387,17 +397,17 @@ func (h *runHeap) up(i int) {
 
 func (h *runHeap) down(i int) bool {
 	start := i
-	n := len(h.ts)
+	n := len(h.es)
 	for {
 		left := 2*i + 1
 		if left >= n {
 			break
 		}
 		best := left
-		if right := left + 1; right < n && h.less(right, left) {
+		if right := left + 1; right < n && h.es[right].key < h.es[left].key {
 			best = right
 		}
-		if !h.less(best, i) {
+		if h.es[best].key >= h.es[i].key {
 			break
 		}
 		h.swap(i, best)

@@ -1,17 +1,29 @@
 // Package des provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a simulation clock and a priority queue of events
-// ordered by (time, sequence number). Ties in time are broken by scheduling
+// The engine maintains a simulation clock and an event queue with a total
+// order on (time, sequence number). Ties in time are broken by scheduling
 // order, so a run is fully deterministic: the same sequence of Schedule and
 // Cancel calls always yields the same execution order.
+//
+// The queue is a ladder queue (see ladder.go): a three-tier calendar
+// structure — a sorted near-future "bottom" window, a spine of bucketed
+// rungs that lazily re-bucket as the clock advances, and an unsorted
+// far-future "top" overflow — giving amortized O(1) Schedule and Step where
+// a binary heap pays O(log n) per operation. The previous heap survives as
+// NewBaselineHeap for differential tests and benchmark baselines; both
+// engines fire events in the identical (time, seq) order.
 //
 // Events are pooled: once an event fires or is cancelled its storage is
 // recycled for the next Schedule, so the steady-state event loop allocates
 // nothing. Callers therefore never hold *event pointers; Schedule returns a
 // generation-stamped EventRef handle whose Cancel and Pending operations
 // are safe (and no-ops) after the event has fired and its storage been
-// reused. Cancellation is O(log n) because every event tracks its heap
-// index (an intrusive heap).
+// reused. On the ladder engine Cancel recycles the storage in O(1) and
+// removes the queue entry eagerly when the event still sits where it was
+// inserted; if the queue has since moved it, the leftover entry is
+// discarded when it surfaces — its inline sequence number can never match
+// a reused slot, since sequence numbers are unique for the life of the
+// engine.
 package des
 
 import (
@@ -26,13 +38,81 @@ type Handler func(e *Engine)
 // event is a pooled, scheduled occurrence inside the simulation. Callers
 // interact with events only through EventRef handles.
 type event struct {
-	time  float64
-	seq   uint64
-	gen   uint64 // bumped on recycle; stale EventRefs detect it
-	index int    // position in the heap, -1 when not queued
-	fn    func(e *Engine, arg any)
-	arg   any
+	time float64
+	seq  uint64
+	gen  uint64 // bumped on recycle; stale EventRefs detect it
+	fn   func(e *Engine, arg any)
+	arg  any
+	tier int32  // tier stamped at insert; tierNone when unqueued
+	b    int32  // bucket stamped at insert (rung tiers)
+	slot int32  // position stamped at insert (heap index for tierHeap)
+	id   uint32 // arena index of this event's storage, stamped once
 }
+
+// Arena geometry: events live in fixed-size slabs addressed by a uint32
+// index (slab number in the high bits, offset in the low bits).
+const (
+	slabShift = 10
+	slabSize  = 1 << slabShift
+	slabMask  = slabSize - 1
+)
+
+// arena is the pooled event store. Slabs are pointers to fixed arrays, so
+// event addresses never move once handed out — EventRef and the baseline
+// heap hold *event safely — while the ladder's tier entries can hold the
+// bare uint32 index instead of a pointer. That keeps the tier arrays free
+// of pointers entirely: the GC neither scans them nor interposes write
+// barriers on the shift/sort/re-bucket traffic that dominates queue time.
+type arena struct {
+	slabs []*[slabSize]event
+	free  []uint32 // recycled indices, LIFO
+}
+
+// at resolves an arena index to its event. The slabMask index into the
+// fixed-size array needs no bounds check.
+//
+//botlint:hotpath
+func (a *arena) at(idx uint32) *event {
+	return &a.slabs[idx>>slabShift][idx&slabMask]
+}
+
+// alloc takes a recycled event or grows the arena by one slab.
+//
+//botlint:hotpath
+func (a *arena) alloc() *event {
+	if n := len(a.free); n > 0 {
+		idx := a.free[n-1]
+		a.free = a.free[:n-1]
+		return a.at(idx)
+	}
+	base := uint32(len(a.slabs)) << slabShift
+	slab := new([slabSize]event)
+	for i := range slab {
+		slab[i].id = base + uint32(i)
+		slab[i].tier = tierNone
+	}
+	a.slabs = append(a.slabs, slab)
+	// Hand out slot 0 and free-list the rest in descending order, so
+	// subsequent allocs walk the slab front to back.
+	for i := slabSize - 1; i >= 1; i-- {
+		a.free = append(a.free, base+uint32(i))
+	}
+	return &slab[0]
+}
+
+// Queue tiers. An event's (tier, b, slot) records where it was inserted.
+// The ladder never updates the stamp as the queue reshapes itself — tier
+// moves are pure item-array traffic — so the stamp may go stale; Cancel
+// validates it against the item's sequence number before removing eagerly,
+// and falls back to lazy discard when the event has moved (see ladder.go).
+// The baseline heap keeps its slot exact and always removes eagerly.
+const (
+	tierNone   int32 = -1 // not queued (fired, cancelled or pooled)
+	tierBottom int32 = 0  // the ladder's sorted near-future window
+	tierTop    int32 = 1  // the ladder's unsorted far-future overflow
+	tierHeap   int32 = 2  // the baseline binary heap (NewBaselineHeap)
+	tierRung0  int32 = 3  // ladder rung k is tier tierRung0+k
+)
 
 // EventRef is a handle to a scheduled event. The zero value is a valid
 // "no event" reference: cancelling it is a no-op and it is never pending.
@@ -46,7 +126,7 @@ type EventRef struct {
 // Pending reports whether the referenced event is still queued (neither
 // fired nor cancelled).
 func (ref EventRef) Pending() bool {
-	return ref.ev != nil && ref.ev.gen == ref.gen && ref.ev.index >= 0
+	return ref.ev != nil && ref.ev.gen == ref.gen && ref.ev.tier != tierNone
 }
 
 // Time returns the simulation time at which the event will fire, or NaN
@@ -64,15 +144,28 @@ func (ref EventRef) Time() float64 {
 type Engine struct {
 	now     float64
 	seq     uint64
-	heap    []*event
-	pool    []*event // free-list of recycled events
+	lq      ladder   // the ladder queue (default engine)
+	hq      []*event // the baseline binary heap (NewBaselineHeap only)
+	mem     arena    // slab-pooled event storage (ladder engine)
+	pool    []*event // free-list of recycled events (baseline heap engine)
 	fired   uint64
 	stopped bool
+	heapq   bool // true when this engine uses the baseline heap
 }
 
-// New returns an engine with the clock at zero and an empty event queue.
+// New returns an engine with the clock at zero and an empty ladder queue.
 func New() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.lq.init(&e.mem)
+	return e
+}
+
+// NewBaselineHeap returns an engine backed by the pre-ladder binary-heap
+// queue (see heapq.go). It fires events in exactly the same order as New;
+// it exists as the reference implementation for differential tests and as
+// the baseline for queue benchmarks, not for production use.
+func NewBaselineHeap() *Engine {
+	return &Engine{heapq: true}
 }
 
 // Now returns the current simulation time.
@@ -83,7 +176,12 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Len returns the number of events currently queued.
-func (e *Engine) Len() int { return len(e.heap) }
+func (e *Engine) Len() int {
+	if e.heapq {
+		return len(e.hq)
+	}
+	return e.lq.count
+}
 
 // runHandler adapts the closure-based Handler API to the pooled (fn, arg)
 // representation. Handler values are pointer-shaped, so storing one in the
@@ -134,43 +232,65 @@ func (e *Engine) ScheduleFuncAt(t float64, fn func(*Engine, any), arg any) Event
 	e.seq++
 	ev := e.alloc()
 	ev.time, ev.seq, ev.fn, ev.arg = t, e.seq, fn, arg
-	e.push(ev)
+	if e.heapq {
+		e.heapPush(ev)
+	} else {
+		e.lq.insert(ev)
+	}
 	return EventRef{ev: ev, gen: ev.gen}
 }
 
-// alloc takes an event from the pool or grows it.
+// alloc takes a recycled event or makes a new one. The ladder engine draws
+// from the slab arena so that tier items can address events by index; the
+// baseline heap keeps the pre-ladder engine's pool of individually
+// allocated events, preserving that implementation verbatim.
 //
 //botlint:hotpath
 func (e *Engine) alloc() *event {
-	if n := len(e.pool); n > 0 {
-		ev := e.pool[n-1]
-		e.pool[n-1] = nil
-		e.pool = e.pool[:n-1]
-		return ev
+	if e.heapq {
+		if n := len(e.pool); n > 0 {
+			ev := e.pool[n-1]
+			e.pool[n-1] = nil
+			e.pool = e.pool[:n-1]
+			return ev
+		}
+		return &event{tier: tierNone}
 	}
-	return &event{index: -1}
+	return e.mem.alloc()
 }
 
 // recycle invalidates every outstanding EventRef to ev and returns its
-// storage to the pool.
+// storage to the engine's pool.
 //
 //botlint:hotpath
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
-	ev.index = -1
+	ev.tier = tierNone
 	ev.fn = nil
 	ev.arg = nil
-	e.pool = append(e.pool, ev)
+	if e.heapq {
+		e.pool = append(e.pool, ev)
+		return
+	}
+	e.mem.free = append(e.mem.free, ev.id)
 }
 
 // Cancel removes a pending event from the queue and recycles it.
 // Cancelling a zero, fired, stale or already-cancelled ref is a no-op,
 // which simplifies caller bookkeeping.
+//
+// On the ladder engine the storage is recycled immediately either way; the
+// queue entry is removed eagerly when the event still sits where it was
+// inserted, and discarded lazily when it surfaces at the front otherwise.
 func (e *Engine) Cancel(ref EventRef) {
 	if !ref.Pending() {
 		return
 	}
-	e.remove(ref.ev.index)
+	if e.heapq {
+		e.heapRemove(int(ref.ev.slot))
+	} else {
+		e.lq.cancel(ref.ev)
+	}
 	e.recycle(ref.ev)
 }
 
@@ -179,11 +299,22 @@ func (e *Engine) Cancel(ref EventRef) {
 //
 //botlint:hotpath
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.heap) == 0 {
+	if e.stopped {
 		return false
 	}
-	ev := e.heap[0]
-	e.remove(0)
+	var ev *event
+	if e.heapq {
+		if len(e.hq) == 0 {
+			return false
+		}
+		ev = e.hq[0]
+		e.heapRemove(0)
+	} else {
+		ev = e.lq.popMin()
+		if ev == nil {
+			return false
+		}
+	}
 	e.now = ev.time
 	fn, arg := ev.fn, ev.arg
 	e.recycle(ev) // before the callback, so it can reuse the slot
@@ -198,16 +329,67 @@ func (e *Engine) Run() {
 	}
 }
 
+// peekTime returns the fire time of the earliest queued event. On the
+// ladder engine this may refill the bottom tier, which mutates the queue
+// structure but never the fire order.
+func (e *Engine) peekTime() (float64, bool) {
+	if e.heapq {
+		if len(e.hq) == 0 {
+			return 0, false
+		}
+		return e.hq[0].time, true
+	}
+	return e.lq.peekTime()
+}
+
 // RunUntil executes events with time ≤ t, then advances the clock to t
 // (if the clock has not already passed it). Events scheduled exactly at t
 // are executed.
 func (e *Engine) RunUntil(t float64) {
-	for !e.stopped && len(e.heap) > 0 && e.heap[0].time <= t {
+	for !e.stopped {
+		next, ok := e.peekTime()
+		if !ok || next > t {
+			break
+		}
 		e.Step()
 	}
 	if !e.stopped && e.now < t {
 		e.now = t
 	}
+}
+
+// Reset returns the engine to its initial state — clock at zero, queue
+// empty, not stopped — while keeping the allocator warm: the event arena,
+// the tier and heap capacities and the ladder's rung free-list persist, so
+// a worker that executes many simulations back-to-back (a sweep worker, a
+// replication benchmark) pays the growth cost once instead of every run.
+// Pending events are discarded and every outstanding EventRef goes stale,
+// exactly as if the events had been cancelled. Sequence numbers keep
+// rising across Reset — uniqueness for the life of the engine is what
+// keeps stale queue residue detectable — and fire order depends only on
+// their relative order, so a reset engine replays a run bit-identically
+// to a fresh one.
+func (e *Engine) Reset() {
+	if e.heapq {
+		for _, ev := range e.hq {
+			e.recycle(ev)
+		}
+		e.hq = e.hq[:0]
+	} else {
+		// Queued events are exactly those not stamped tierNone: firing
+		// and cancelling both recycle (and so un-stamp) immediately.
+		for _, slab := range e.mem.slabs {
+			for i := range slab {
+				if slab[i].tier != tierNone {
+					e.recycle(&slab[i])
+				}
+			}
+		}
+		e.lq.reset()
+	}
+	e.now = 0
+	e.fired = 0
+	e.stopped = false
 }
 
 // Stop halts the run loop after the current event completes. Subsequent
@@ -217,72 +399,3 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
-
-// less orders events by (time, seq).
-func (e *Engine) less(i, j int) bool {
-	a, b := e.heap[i], e.heap[j]
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) swap(i, j int) {
-	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.heap[i].index = i
-	e.heap[j].index = j
-}
-
-func (e *Engine) push(ev *event) {
-	ev.index = len(e.heap)
-	e.heap = append(e.heap, ev)
-	e.up(ev.index)
-}
-
-// remove deletes the element at index i, restoring the heap property.
-func (e *Engine) remove(i int) {
-	n := len(e.heap) - 1
-	if i != n {
-		e.swap(i, n)
-	}
-	e.heap[n] = nil
-	e.heap = e.heap[:n]
-	if i < n {
-		if !e.down(i) {
-			e.up(i)
-		}
-	}
-}
-
-func (e *Engine) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
-			break
-		}
-		e.swap(i, parent)
-		i = parent
-	}
-}
-
-// down sifts element i toward the leaves; reports whether it moved.
-func (e *Engine) down(i int) bool {
-	start := i
-	n := len(e.heap)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		best := left
-		if right := left + 1; right < n && e.less(right, left) {
-			best = right
-		}
-		if !e.less(best, i) {
-			break
-		}
-		e.swap(i, best)
-		i = best
-	}
-	return i > start
-}

@@ -100,8 +100,8 @@ func TestEventPoolReuse(t *testing.T) {
 	if n != 1000 {
 		t.Fatalf("fired %d, want 1000", n)
 	}
-	if got := len(e.pool); got != 1 {
-		t.Fatalf("pool holds %d events, want 1 (single recycled slot)", got)
+	if got := len(e.mem.slabs); got != 1 {
+		t.Fatalf("arena grew to %d slabs, want 1 (storage recycled)", got)
 	}
 }
 
@@ -363,5 +363,79 @@ func BenchmarkScheduleCancel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Cancel(e.ScheduleFunc(1, nop, nil))
+	}
+}
+
+// TestReset exercises warm-engine reuse on both engines: after Reset the
+// clock is back at zero, the queue is empty, outstanding refs are stale,
+// and a replayed schedule fires in exactly the same order as on a fresh
+// engine.
+func TestReset(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *Engine
+	}{{"ladder", New}, {"heap", NewBaselineHeap}} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(e *Engine) []float64 {
+				var fired []float64
+				for _, d := range []float64{5, 1, 9, 3, 3, 7, 1e6, 2e6} {
+					e.Schedule(d, func(e *Engine) { fired = append(fired, e.Now()) })
+				}
+				e.RunUntil(8)
+				return fired
+			}
+			fresh := New()
+			want := run(fresh)
+
+			e := tc.mk()
+			run(e)
+			if e.Len() == 0 {
+				t.Fatal("expected far-future events still queued before Reset")
+			}
+			ref := e.Schedule(100, func(*Engine) { t.Fatal("fired across Reset") })
+			e.Stop()
+			e.Reset()
+			if e.Len() != 0 || e.Now() != 0 || e.Fired() != 0 || e.Stopped() {
+				t.Fatalf("Reset left state: len=%d now=%v fired=%d stopped=%v",
+					e.Len(), e.Now(), e.Fired(), e.Stopped())
+			}
+			if ref.Pending() {
+				t.Fatal("ref still pending after Reset")
+			}
+			e.Cancel(ref) // must be a no-op, not a corruption
+			got := run(e)
+			if len(got) != len(want) {
+				t.Fatalf("replay fired %d events, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("replay event %d at %v, want %v", i, got[i], want[i])
+				}
+			}
+			e.Run() // drain the far-future remainder; must not panic
+		})
+	}
+}
+
+// TestResetKeepsArenaWarm pins the point of Reset: a second identical run
+// on a reset ladder engine grows no new slabs.
+func TestResetKeepsArenaWarm(t *testing.T) {
+	e := New()
+	load := func() {
+		var refs []EventRef
+		for i := 0; i < 300; i++ {
+			refs = append(refs, e.Schedule(float64(i%7), func(*Engine) {}))
+		}
+		for i := 0; i < len(refs); i += 3 {
+			e.Cancel(refs[i])
+		}
+		e.Run()
+	}
+	load()
+	slabs := len(e.mem.slabs)
+	e.Reset()
+	load()
+	if got := len(e.mem.slabs); got != slabs {
+		t.Fatalf("reset engine grew arena: %d slabs, was %d", got, slabs)
 	}
 }

@@ -1,0 +1,78 @@
+// The baseline binary-heap event queue — the engine's original queue,
+// kept verbatim behind NewBaselineHeap. It orders events by the same total
+// (time, seq) key as the ladder queue, so the two implementations fire
+// events in bit-identical order; the differential fuzz target and the
+// whole-simulation parity test in internal/core pin that equivalence, and
+// the replication benchmarks use it as the speedup baseline.
+package des
+
+// less orders heap events by (time, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := e.hq[i], e.hq[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.hq[i], e.hq[j] = e.hq[j], e.hq[i]
+	e.hq[i].slot = int32(i)
+	e.hq[j].slot = int32(j)
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.tier = tierHeap
+	ev.slot = int32(len(e.hq))
+	e.hq = append(e.hq, ev)
+	e.up(int(ev.slot))
+}
+
+// heapRemove deletes the element at index i, restoring the heap property.
+func (e *Engine) heapRemove(i int) {
+	n := len(e.hq) - 1
+	if i != n {
+		e.swap(i, n)
+	}
+	e.hq[n].tier = tierNone
+	e.hq[n] = nil
+	e.hq = e.hq[:n]
+	if i < n {
+		if !e.down(i) {
+			e.up(i)
+		}
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts element i toward the leaves; reports whether it moved.
+func (e *Engine) down(i int) bool {
+	start := i
+	n := len(e.hq)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && e.less(right, left) {
+			best = right
+		}
+		if !e.less(best, i) {
+			break
+		}
+		e.swap(i, best)
+		i = best
+	}
+	return i > start
+}

@@ -186,10 +186,14 @@ func runCell(f Figure, o Options, gran float64, pol core.PolicyKind, sem chan st
 	var acc, waiting, makespan, overhead stats.Accumulator
 	var pooled, slowdowns []float64
 
+	// One warm engine per cell: replications within a cell run
+	// sequentially, so the runner's arena and queue capacities carry
+	// from one replication to the next.
+	var runner core.Runner
 	runRep := func(rep int) error {
 		sem <- struct{}{}
 		defer func() { <-sem }()
-		res, err := core.Run(o.CellConfig(f, gran, pol, rep))
+		res, err := runner.Run(o.CellConfig(f, gran, pol, rep))
 		if err != nil {
 			return err
 		}
