@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,7 +22,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -32,6 +35,8 @@ import (
 
 type options struct {
 	addr      string
+	addrs     string
+	hammer    bool
 	policy    string
 	workers   int
 	power     float64
@@ -49,6 +54,9 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "", "server address; empty starts an in-process server")
+	flag.StringVar(&o.addrs, "addrs", "", "comma-separated cluster addresses for -hammer-failover")
+	flag.BoolVar(&o.hammer, "hammer-failover", false,
+		"drive a replicated cluster instead: tolerate leader redirects and failovers, verify no acked operation is lost")
 	flag.StringVar(&o.policy, "policy", "FCFS-Share", "policy for the in-process server")
 	flag.IntVar(&o.workers, "workers", 50, "number of simulated workers")
 	flag.Float64Var(&o.power, "power", 10, "worker computing power")
@@ -74,6 +82,10 @@ func main() {
 func run(ctx context.Context, o options, w io.Writer) error {
 	ctx, cancel := context.WithTimeout(ctx, o.timeout)
 	defer cancel()
+
+	if o.hammer {
+		return hammer(ctx, o, w)
+	}
 
 	addr := o.addr
 	if addr == "" {
@@ -163,6 +175,127 @@ func run(ctx context.Context, o options, w io.Writer) error {
 	wg.Wait()
 
 	report(w, o, st, rtt.Summary(), elapsed)
+	return nil
+}
+
+// hammer drives a replicated cluster through failovers: submits are
+// retried across leader changes, workers keep fetching and reporting
+// through redirects and elections, and at the end the leader's state is
+// checked against the client's own books — every acked submit must be a
+// completed bag, every acked done-report a completed task. The operator
+// (or CI) kills leaders while this runs; hammer itself never does.
+func hammer(ctx context.Context, o options, w io.Writer) error {
+	if o.addrs == "" {
+		return errors.New("-hammer-failover requires -addrs")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var bases []string
+	for _, a := range strings.Split(o.addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			bases = append(bases, "http://"+a)
+		}
+	}
+	cc := serve.NewClusterClient(bases)
+
+	// Submit with retries: a submit whose response was lost mid-failover
+	// may have landed, so a retry can duplicate the bag — the final wait
+	// therefore requires BagsSubmitted == BagsCompleted rather than an
+	// exact count. Only acked submissions join the must-survive set.
+	str := rng.Root(o.seed, "botload-works")
+	acked := 0
+	for i := 0; i < o.bags; i++ {
+		works := make([]float64, o.tasks)
+		for j := range works {
+			works[j] = str.Uniform(0.5*o.work, 1.5*o.work)
+		}
+		for ctx.Err() == nil {
+			if _, err := cc.Submit(o.work, works); err != nil {
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			acked++
+			break
+		}
+	}
+	if acked < o.bags {
+		return fmt.Errorf("hammer: submitted %d/%d bags before timeout", acked, o.bags)
+	}
+	fmt.Fprintf(w, "hammer: %d bags acked by the cluster\n", acked)
+
+	// The fleet: plain pull workers that shrug off dead leaders. An errored
+	// report is NOT counted — fetch is idempotent, so if it never landed the
+	// next fetch returns the same assignment and the work is redone.
+	var ackedDone atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < o.workers; i++ {
+		id := fmt.Sprintf("hammer-%03d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				fr, err := cc.Fetch(id, o.power)
+				if err != nil {
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				if !fr.Assigned {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				if o.timeScale > 0 {
+					time.Sleep(time.Duration(fr.Assignment.Work / o.power * o.timeScale * float64(time.Second)))
+				}
+				ack, err := cc.Report(id, fr.Assignment.Replica, serve.StatusDone)
+				if err != nil {
+					continue
+				}
+				if ack == serve.AckOK {
+					ackedDone.Add(1)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var st serve.StatsResponse
+	haveStats := false
+	for {
+		if st2, err := cc.LeaderStats(); err == nil {
+			st, haveStats = st2, true
+			if st.BagsCompleted >= acked && st.BagsSubmitted == st.BagsCompleted {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			cancel()
+			wg.Wait()
+			if !haveStats {
+				return errors.New("hammer: timed out with no leader reachable")
+			}
+			return fmt.Errorf("hammer: timed out with %d/%d bags complete", st.BagsCompleted, acked)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	cancel()
+	wg.Wait()
+
+	// The books must balance: nothing the cluster acked may be missing.
+	if st.BagsCompleted < acked {
+		return fmt.Errorf("hammer: acked bags lost: %d acked, %d completed", acked, st.BagsCompleted)
+	}
+	if done := int(ackedDone.Load()); st.TasksCompleted < done {
+		return fmt.Errorf("hammer: acked work lost: %d done-reports acked, %d tasks completed",
+			done, st.TasksCompleted)
+	}
+	fmt.Fprintf(w, "hammer: %d bags drained in %.2fs, %d acked done-reports, %d tasks completed\n",
+		acked, elapsed.Seconds(), ackedDone.Load(), st.TasksCompleted)
+	if st.Replication != nil {
+		fmt.Fprintf(w, "hammer: final leader %s at term %d, commit LSN %d, %d elections seen\n",
+			st.Replication.LeaderID, st.Replication.Term, st.Replication.CommitLSN, st.Replication.Elections)
+	}
+	fmt.Fprintf(w, "hammer: no acked operation lost\n")
 	return nil
 }
 

@@ -24,6 +24,16 @@
 // SIGINT/SIGTERM drain gracefully: the listener closes immediately,
 // in-flight requests finish (bounded by -grace), a final snapshot is
 // written, then the process exits.
+//
+// With -peers and -node-id, botserved runs as one member of a replicated
+// dispatch cluster: the nodes elect a leader, the leader streams every
+// journal record to the followers and acks submits and done-reports only
+// once a quorum holds them durably, and a killed leader is replaced by a
+// follower with no acked work lost. Followers redirect dispatch traffic to
+// the leader. A 3-node cluster is three invocations of the same binary:
+//
+//	botserved -addr 127.0.0.1:8431 -data-dir /var/lib/bg/a -node-id a \
+//	          -peers a=127.0.0.1:9431,b=127.0.0.1:9432,c=127.0.0.1:9433
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 
 	"botgrid/internal/core"
 	"botgrid/internal/journal"
+	"botgrid/internal/replicate"
 	"botgrid/internal/serve"
 )
 
@@ -57,6 +68,11 @@ func main() {
 		dataDir = flag.String("data-dir", "", "journal directory for crash recovery (empty: in-memory only)")
 		fsync   = flag.String("fsync", "batch", "journal durability: always, batch or off")
 		mtbf    = flag.Duration("snapshot-mtbf", 10*time.Minute, "expected crash interval driving the snapshot cadence")
+
+		nodeID    = flag.String("node-id", "", "this node's ID in a replicated cluster (requires -peers)")
+		peers     = flag.String("peers", "", "cluster members as id=host:port,... (replication listeners); empty runs standalone")
+		advertise = flag.String("advertise", "", "dispatch address advertised to cluster peers for redirects (default -addr)")
+		replLease = flag.Duration("repl-lease", 2*time.Second, "leader lease; a silent leader is replaced after it")
 	)
 	flag.Parse()
 
@@ -88,10 +104,71 @@ func main() {
 	defer stop()
 	log.Printf("botserved: policy %s, %d worker slots, lease %s, on http://%s/",
 		k, *workers, *lease, ln.Addr())
+	if *peers != "" {
+		if *nodeID == "" {
+			log.Fatal("botserved: -peers requires -node-id")
+		}
+		if *dataDir == "" {
+			log.Fatal("botserved: replication requires -data-dir")
+		}
+		pl, err := replicate.ParsePeers(*peers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpAddr := *advertise
+		if httpAddr == "" {
+			httpAddr = *addr
+		}
+		rcfg := replicate.Config{
+			NodeID:        *nodeID,
+			Peers:         pl,
+			Dir:           *dataDir,
+			Lease:         *replLease,
+			AdvertiseHTTP: httpAddr,
+			Fsync:         cfg.Fsync,
+			SnapshotMTBF:  cfg.SnapshotMTBF,
+			Logf:          log.Printf,
+		}
+		cfg.DataDir = "" // the replication node owns the journal
+		if err := runCluster(ctx, ln, cfg, rcfg, *grace); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("botserved: cluster node %s drained and stopped", *nodeID)
+		return
+	}
 	if err := run(ctx, ln, cfg, *grace); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("botserved: drained and stopped")
+}
+
+// runCluster serves one replicated cluster node on ln until ctx is
+// cancelled, then drains like run: listener closed, in-flight requests
+// finished (up to grace), replication streams stopped, and — when this
+// node was leading — a final snapshot written.
+func runCluster(ctx context.Context, ln net.Listener, cfg serve.Config, rcfg replicate.Config, grace time.Duration) error {
+	g, err := serve.StartCluster(cfg, rcfg)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: g}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return errors.Join(err, g.Close())
+	case <-ctx.Done():
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil {
+		hs.Close()
+		return errors.Join(err, g.Close())
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return errors.Join(err, g.Close())
+	}
+	return g.Close()
 }
 
 // run serves cfg on ln until ctx is cancelled, then drains: the listener

@@ -9,13 +9,15 @@ import (
 
 // errStrictNames are the API-name fragments that mark a strict-package
 // function as part of its durability surface: discarding their error result
-// can silently lose acknowledged data.
-var errStrictNames = []string{"Sync", "Write", "Append", "Flush", "Close", "Durable"}
+// can silently lose acknowledged data. Send and Ack cover the replication
+// layer's log-transfer surface, where a dropped error silently stalls a
+// follower (and with it the quorum) instead of tearing the session down.
+var errStrictNames = []string{"Sync", "Write", "Append", "Flush", "Close", "Durable", "Send", "Ack"}
 
 // checkErrStrict forbids discarding the error result of
 //   - (*os.File).Sync anywhere in the tree, and
 //   - the write/sync APIs (names containing Sync, Write, Append, Flush,
-//     Close or Durable) of the configured strict packages.
+//     Close, Durable, Send or Ack) of the configured strict packages.
 //
 // A call is "discarding" when it stands alone as a statement (including go
 // and defer statements) or when the error-position result is assigned to

@@ -37,7 +37,7 @@ var Rules = []struct{ Name, Doc string }{
 	{"determinism", "no time.Now, global math/rand, constant-seeded rand sources, or unsorted map ranges in simulation-reachable code"},
 	{"locks", "//botlint:holds and //botlint:guarded-by mutex annotations are respected"},
 	{"hotpath", "//botlint:hotpath functions avoid fmt, defer, escaping appends, closures and boxing interface conversions"},
-	{"errcheck", "no discarded errors from os.File.Sync or the journal's write/sync APIs"},
+	{"errcheck", "no discarded errors from os.File.Sync or the durability and replication write/sync/send/ack APIs"},
 }
 
 // suppressRule is the pseudo-rule for defective suppressions; it cannot be
@@ -60,14 +60,16 @@ type Config struct {
 	// determinism rule.
 	DeterministicPkgs []string
 	// StrictErrorPkgs are the import paths whose error-returning
-	// write/sync/append/flush/close APIs must never have their errors
-	// discarded.
+	// write/sync/append/flush/close/send/ack APIs must never have their
+	// errors discarded.
 	StrictErrorPkgs []string
 }
 
 // DefaultConfig returns the botgrid configuration: the simulation clock's
-// packages are deterministic, the journal's durability APIs are
-// error-strict.
+// packages are deterministic; the journal's durability APIs and the
+// replication layer's log-transfer APIs are error-strict (a dropped send
+// or ack error can silently stall a quorum just as a dropped fsync error
+// can silently lose acknowledged data).
 func DefaultConfig(modPath string) Config {
 	return Config{
 		DeterministicPkgs: []string{
@@ -77,7 +79,10 @@ func DefaultConfig(modPath string) Config {
 			modPath + "/internal/workload",
 			modPath + "/internal/rng",
 		},
-		StrictErrorPkgs: []string{modPath + "/internal/journal"},
+		StrictErrorPkgs: []string{
+			modPath + "/internal/journal",
+			modPath + "/internal/replicate",
+		},
 	}
 }
 

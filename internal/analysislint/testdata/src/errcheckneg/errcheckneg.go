@@ -20,3 +20,11 @@ func Shutdown(f *os.File) error {
 	errstrict.Lookup() // not a durability API: discard is fine
 	return errstrict.SyncAll()
 }
+
+// Stream handles every log-transfer error.
+func Stream() error {
+	if err := errstrict.SendEntry(nil); err != nil {
+		return err
+	}
+	return errstrict.AckDurable(7)
+}

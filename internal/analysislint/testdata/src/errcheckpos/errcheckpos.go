@@ -16,3 +16,12 @@ func Shutdown(f *os.File) {
 	errstrict.SyncAll()          // want errcheck
 	_ = errstrict.WriteBlob(nil) // want errcheck
 }
+
+// Replicate drops log-transfer errors: a swallowed send or ack error
+// leaves a follower silently behind instead of forcing a reconnect.
+func Replicate() {
+	errstrict.SendEntry(nil)      // want errcheck
+	_ = errstrict.AckDurable(7)   // want errcheck
+	go errstrict.SendEntry(nil)   // want errcheck
+	defer errstrict.AckDurable(7) // want errcheck
+}

@@ -9,6 +9,13 @@ func WriteBlob(b []byte) error { _ = b; return nil }
 // SyncAll flushes everything.
 func SyncAll() error { return nil }
 
+// SendEntry streams one log entry to a follower (the replication layer's
+// transfer surface; "Send" is a strict name fragment).
+func SendEntry(b []byte) error { _ = b; return nil }
+
+// AckDurable reports a durable LSN back to the leader ("Ack" fragment).
+func AckDurable(lsn uint64) error { _ = lsn; return nil }
+
 // Lookup is not part of the durability surface (no strict name fragment);
 // its error may be discarded without a finding.
 func Lookup() error { return nil }

@@ -69,6 +69,41 @@ func encodeSnapshot(lsn uint64, st *State) ([]byte, error) {
 	return append(buf, payload...), nil
 }
 
+// EncodeSnapshot renders st as a complete snapshot file image covering
+// everything up to and including lsn — the exact bytes WriteSnapshot puts
+// on disk. The replication layer ships these images verbatim to followers.
+func EncodeSnapshot(lsn uint64, st *State) ([]byte, error) {
+	return encodeSnapshot(lsn, st)
+}
+
+// DecodeSnapshot validates a snapshot image (the full file contents,
+// header included) and returns the LSN it covers and the decoded state.
+func DecodeSnapshot(data []byte) (uint64, *State, error) {
+	hdr := len(snapMagic) + 16
+	if len(data) < hdr || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, nil, fmt.Errorf("journal: bad snapshot header")
+	}
+	lsn := binary.LittleEndian.Uint64(data[len(snapMagic):])
+	length := int(binary.LittleEndian.Uint32(data[len(snapMagic)+8:]))
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+12:])
+	if len(data)-hdr != length {
+		return 0, nil, fmt.Errorf("journal: snapshot payload %d bytes, header says %d", len(data)-hdr, length)
+	}
+	payload := data[hdr:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return 0, nil, fmt.Errorf("journal: snapshot checksum mismatch")
+	}
+	st := NewState()
+	if err := json.Unmarshal(payload, st); err != nil {
+		return 0, nil, fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if st.Sched == nil {
+		return 0, nil, fmt.Errorf("journal: snapshot missing scheduler state")
+	}
+	st.MaxTime = st.Time
+	return lsn, st, nil
+}
+
 // readSnapshot loads and validates the snapshot at path.
 func readSnapshot(path string, wantLSN uint64) (*State, error) {
 	data, err := os.ReadFile(path)
@@ -76,32 +111,66 @@ func readSnapshot(path string, wantLSN uint64) (*State, error) {
 		return nil, err
 	}
 	base := filepath.Base(path)
-	hdr := len(snapMagic) + 16
-	if len(data) < hdr || string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("journal: %s: bad snapshot header", base)
+	lsn, st, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", base, err)
 	}
-	lsn := binary.LittleEndian.Uint64(data[len(snapMagic):])
 	if lsn != wantLSN {
 		return nil, fmt.Errorf("journal: %s: header LSN %d != filename", base, lsn)
 	}
-	length := int(binary.LittleEndian.Uint32(data[len(snapMagic)+8:]))
-	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+12:])
-	if len(data)-hdr != length {
-		return nil, fmt.Errorf("journal: %s: payload %d bytes, header says %d", base, len(data)-hdr, length)
-	}
-	payload := data[hdr:]
-	if crc32.Checksum(payload, crcTable) != sum {
-		return nil, fmt.Errorf("journal: %s: snapshot checksum mismatch", base)
-	}
-	st := NewState()
-	if err := json.Unmarshal(payload, st); err != nil {
-		return nil, fmt.Errorf("journal: %s: %w", base, err)
-	}
-	if st.Sched == nil {
-		return nil, fmt.Errorf("journal: %s: snapshot missing scheduler state", base)
-	}
-	st.MaxTime = st.Time
 	return st, nil
+}
+
+// InstallSnapshot replaces the journal directory's entire history with the
+// given snapshot image: every log segment is deleted, the image becomes the
+// sole recovery point, and the next Open resumes at LSN+1 with zero replay.
+// The directory must not have an open Journal. Replication followers use it
+// to adopt a leader's state wholesale — any locally diverged, never-acked
+// log tail is discarded with the segments. The META epoch file is kept (or
+// created for a brand-new follower directory). Returns the covered LSN.
+//
+// Crash ordering: segments are deleted before the new snapshot lands, so an
+// interruption leaves either the old snapshots (state rewinds; the next
+// leader session re-installs) or the complete new one — never a snapshot
+// with stale segments replayed on top.
+func InstallSnapshot(dir string, data []byte) (uint64, error) {
+	lsn, _, err := DecodeSnapshot(data)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	if _, _, err := loadOrInitMeta(dir, time.Time{}); err != nil {
+		return 0, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, first := range segs {
+		if err := os.Remove(filepath.Join(dir, segName(first))); err != nil {
+			return 0, err
+		}
+	}
+	tmp := filepath.Join(dir, "snap.tmp")
+	if err := writeFileSync(tmp, data); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName(lsn))); err != nil {
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	if snaps, err := listSnapshots(dir); err == nil {
+		for _, s := range snaps {
+			if s != lsn {
+				os.Remove(filepath.Join(dir, snapName(s)))
+			}
+		}
+	}
+	return lsn, nil
 }
 
 // WriteSnapshot persists st as the snapshot covering everything up to and
@@ -203,6 +272,15 @@ const (
 // crash. Snapshots are skipped while the journal has no appends since the
 // last one. capture must return a consistent (State, last-LSN) pair.
 func (j *Journal) SnapshotLoop(stop <-chan struct{}, capture func() (*State, uint64)) {
+	j.SnapshotLoopVia(stop, capture, j.WriteSnapshot)
+}
+
+// SnapshotLoopVia is SnapshotLoop with the persistence step delegated:
+// write is called with each captured (lsn, state) pair in place of
+// WriteSnapshot. The replication leader routes the loop through its own
+// WriteSnapshot so the in-memory log tail it streams to catching-up
+// followers is pruned in the same step that moves the snapshot anchor.
+func (j *Journal) SnapshotLoopVia(stop <-chan struct{}, capture func() (*State, uint64), write func(lsn uint64, st *State) error) {
 	tick := time.NewTicker(snapPollEvery)
 	defer tick.Stop()
 	for {
@@ -219,7 +297,7 @@ func (j *Journal) SnapshotLoop(stop <-chan struct{}, capture func() (*State, uin
 			continue
 		}
 		st, lsn := capture()
-		if err := j.WriteSnapshot(lsn, st); err != nil {
+		if err := write(lsn, st); err != nil {
 			j.noteError(err)
 		}
 	}

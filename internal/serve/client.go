@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -58,6 +59,150 @@ func decodeResponse(resp *http.Response, path string, out any) error {
 		return fmt.Errorf("serve: %s: status %d: %s", path, resp.StatusCode, e.Error)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ClusterClient speaks the dispatch protocol to a replicated cluster. It
+// remembers the last node that answered and tries the others when that one
+// stops: a follower redirects mutating requests to the leader with a 307
+// (the HTTP client replays the body there transparently), a node that is
+// down or mid-election rotates the client to the next address. Safe for
+// concurrent use.
+type ClusterClient struct {
+	bases []string
+	hc    *http.Client
+	cur   atomic.Int32
+}
+
+// NewClusterClient returns a client for a cluster reachable at the given
+// base URLs (e.g. "http://127.0.0.1:8431").
+func NewClusterClient(bases []string) *ClusterClient {
+	tr := &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+	}
+	return &ClusterClient{
+		bases: bases,
+		hc:    &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+// do runs one request against the cluster, rotating past unreachable or
+// leaderless nodes. Application-level failures (4xx) are returned without
+// rotating: they came from a live leader and retrying elsewhere cannot
+// change the answer.
+func (cc *ClusterClient) do(method, path string, in, out any) error {
+	var body []byte
+	if method != http.MethodGet {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	start := int(cc.cur.Load())
+	for i := 0; i < len(cc.bases); i++ {
+		idx := (start + i) % len(cc.bases)
+		base := cc.bases[idx]
+		var resp *http.Response
+		var err error
+		if method == http.MethodGet {
+			resp, err = cc.hc.Get(base + path)
+		} else {
+			resp, err = cc.hc.Post(base+path, "application/json", bytes.NewReader(body))
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("serve: %s: %s has no leader", path, base)
+			continue
+		}
+		err = decodeResponse(resp, path, out)
+		resp.Body.Close()
+		if err == nil {
+			cc.cur.Store(int32(idx))
+		}
+		return err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("serve: %s: no cluster addresses", path)
+	}
+	return lastErr
+}
+
+// Submit enters a bag and returns its ID.
+func (cc *ClusterClient) Submit(granularity float64, works []float64) (int, error) {
+	var resp SubmitResponse
+	err := cc.do(http.MethodPost, "/v1/bags", SubmitRequest{Granularity: granularity, Works: works}, &resp)
+	return resp.Bag, err
+}
+
+// Bag returns a bag's status.
+func (cc *ClusterClient) Bag(id int) (BagStatus, error) {
+	var st BagStatus
+	err := cc.do(http.MethodGet, fmt.Sprintf("/v1/bags/%d", id), nil, &st)
+	return st, err
+}
+
+// Fetch requests worker id's current assignment.
+func (cc *ClusterClient) Fetch(worker string, power float64) (FetchResponse, error) {
+	var resp FetchResponse
+	err := cc.do(http.MethodPost, "/v1/workers/"+worker+"/fetch", FetchRequest{Power: power}, &resp)
+	return resp, err
+}
+
+// Report reports an assignment outcome (StatusDone or StatusFailed).
+func (cc *ClusterClient) Report(worker string, replica uint64, status string) (string, error) {
+	var resp ReportResponse
+	err := cc.do(http.MethodPost, "/v1/workers/"+worker+"/report",
+		ReportRequest{Replica: replica, Status: status}, &resp)
+	return resp.Ack, err
+}
+
+// Heartbeat renews worker id's lease mid-computation.
+func (cc *ClusterClient) Heartbeat(worker string, replica uint64) (string, error) {
+	var resp HeartbeatResponse
+	err := cc.do(http.MethodPost, "/v1/workers/"+worker+"/heartbeat", HeartbeatRequest{Replica: replica}, &resp)
+	return resp.Ack, err
+}
+
+// Stats returns the scheduler snapshot from whichever node answers first;
+// a follower's answer carries only the Replication field.
+func (cc *ClusterClient) Stats() (StatsResponse, error) {
+	var st StatsResponse
+	err := cc.do(http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// LeaderStats polls every node and returns the leader's scheduler
+// snapshot, or an error when no node currently leads.
+func (cc *ClusterClient) LeaderStats() (StatsResponse, error) {
+	var lastErr error
+	for _, base := range cc.bases {
+		resp, err := cc.hc.Get(base + "/v1/stats")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var st StatsResponse
+		err = decodeResponse(resp, "/v1/stats", &st)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// A node counts as the leader only when it answers with full
+		// scheduler stats (Policy set): a candidate, or a freshly elected
+		// leader still mid-promotion, reports its replication state alone.
+		if st.Replication == nil || st.Replication.Role != "leader" || st.Policy == "" {
+			lastErr = fmt.Errorf("serve: %s is not leading", base)
+			continue
+		}
+		return st, nil
+	}
+	return StatsResponse{}, fmt.Errorf("serve: no leader answered stats: %w", lastErr)
 }
 
 // Submit enters a bag and returns its ID.

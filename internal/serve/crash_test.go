@@ -66,15 +66,24 @@ func TestCrashHelperProcess(t *testing.T) {
 	select {} // serve until SIGKILLed; deliberately no cleanup
 }
 
-// startHelper launches the helper daemon on dir and waits for its address.
+// startHelper launches the crash helper daemon on dir and waits for its
+// address.
 func startHelper(t *testing.T, dir string, k core.PolicyKind) *exec.Cmd {
 	t.Helper()
-	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelperProcess$")
-	cmd.Env = append(os.Environ(),
+	return startHelperProc(t, "^TestCrashHelperProcess$",
 		"BOTGRID_CRASH_HELPER=1",
 		"BOTGRID_CRASH_DIR="+dir,
 		"BOTGRID_CRASH_POLICY="+k.String(),
 	)
+}
+
+// startHelperProc re-execs this test binary as a daemon-like child (the
+// named helper test) and waits for the HELPER_ADDR= line on its stdout.
+// The crash and failover integration tests both build on it.
+func startHelperProc(t *testing.T, run string, env ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run="+run)
+	cmd.Env = append(os.Environ(), env...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -16,6 +16,21 @@ import (
 	"botgrid/internal/journal"
 )
 
+// Log is the record log the server journals through. *journal.Journal is
+// the standalone implementation (WaitDurable = local fsync); the
+// replication layer's *replicate.Replica is the clustered one (WaitDurable
+// = durable on a quorum of nodes). The server treats both identically:
+// append under mu, wait for durability before acking, snapshot on the
+// Young-formula cadence, close on shutdown.
+type Log interface {
+	Append(r *journal.Record) (uint64, error)
+	WaitDurable(lsn uint64) error
+	Metrics() journal.Metrics
+	WriteSnapshot(lsn uint64, st *journal.State) error
+	SnapshotLoop(stop <-chan struct{}, capture func() (*journal.State, uint64))
+	Close() error
+}
+
 // RecoveryInfo summarizes what NewServer rebuilt from the journal at
 // startup. It is served verbatim on /v1/stats and /metrics so operators
 // can see how the last restart went.

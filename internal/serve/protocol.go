@@ -16,7 +16,10 @@ package serve
 // machine failure: its replica is killed and the task resubmitted at the
 // front of its bag's queue (WQR-FT semantics).
 
-import "botgrid/internal/journal"
+import (
+	"botgrid/internal/journal"
+	"botgrid/internal/replicate"
+)
 
 // SubmitRequest enters a new bag. Works are per-task durations on the
 // reference machine (power 1), in seconds — the same unit the simulator
@@ -140,4 +143,8 @@ type StatsResponse struct {
 	// server runs without -data-dir.
 	Journal  *journal.Metrics `json:"journal,omitempty"`
 	Recovery *RecoveryInfo    `json:"recovery,omitempty"`
+	// Replication reports the cluster state (role, term, commit LSN,
+	// per-follower match) when the server runs replicated. A follower
+	// answers /v1/stats with only this field populated.
+	Replication *replicate.Status `json:"replication,omitempty"`
 }

@@ -25,6 +25,7 @@ import (
 	"botgrid/internal/core"
 	"botgrid/internal/grid"
 	"botgrid/internal/journal"
+	"botgrid/internal/replicate"
 	"botgrid/internal/rng"
 )
 
@@ -71,6 +72,17 @@ type Config struct {
 	// SnapshotMTBF is the expected crash interval fed to Young's formula
 	// for the snapshot cadence (default 10min). Ignored without DataDir.
 	SnapshotMTBF time.Duration
+
+	// Log, when non-nil, is a pre-opened record log the server journals
+	// through instead of opening one from DataDir — the replication layer
+	// hands the leader's quorum-ack Replica in here. Requires Recovered;
+	// the server takes ownership and closes the log in Close.
+	Log Log
+	// Recovered is the recovered state backing Log.
+	Recovered *journal.Recovered
+	// Replication, when non-nil, adds cluster replication state to
+	// /v1/stats and /metrics.
+	Replication ReplicationSource
 }
 
 func (c Config) withDefaults() Config {
@@ -127,8 +139,10 @@ type Server struct {
 	//botlint:guarded-by mu
 	met counters
 
-	// Journal state (all nil/zero when cfg.DataDir is empty).
-	jnl *journal.Journal
+	// Journal state (all nil/zero when the server runs in memory). jnl is
+	// the plain journal with DataDir, or the replication layer's quorum log
+	// with Config.Log.
+	jnl Log
 	//botlint:guarded-by mu
 	lastLSN uint64 // LSN of the newest record covering current state
 	//botlint:guarded-by mu
@@ -152,12 +166,17 @@ func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 
 	var (
-		jnl *journal.Journal
+		jnl Log
 		rec *journal.Recovered
 	)
-	if cfg.DataDir != "" {
-		var err error
-		jnl, rec, err = journal.Open(journal.Options{
+	switch {
+	case cfg.Log != nil:
+		if cfg.Recovered == nil {
+			return nil, errors.New("serve: Config.Log requires Config.Recovered")
+		}
+		jnl, rec = cfg.Log, cfg.Recovered
+	case cfg.DataDir != "":
+		j, r, err := journal.Open(journal.Options{
 			Dir:          cfg.DataDir,
 			Fsync:        cfg.Fsync,
 			SnapshotMTBF: cfg.SnapshotMTBF,
@@ -165,6 +184,7 @@ func NewServer(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		jnl, rec = j, r
 	}
 
 	clock := cfg.Clock
@@ -207,10 +227,14 @@ func NewServer(cfg Config) (*Server, error) {
 		if s.seenQuant <= 0 {
 			s.seenQuant = 1
 		}
+		label := cfg.DataDir
+		if label == "" {
+			label = "replicated log"
+		}
 		//botlint:ignore locks -- constructor: no goroutine can observe s before NewServer returns
 		if err := s.restore(rec, pol); err != nil {
 			err = errors.Join(err, jnl.Close())
-			return nil, fmt.Errorf("recovering %s: %w", cfg.DataDir, err)
+			return nil, fmt.Errorf("recovering %s: %w", label, err)
 		}
 		//botlint:ignore locks -- constructor: no goroutine can observe s before NewServer returns
 		s.sched.SetMutationSink(s.journalMutation)
@@ -593,6 +617,10 @@ func (s *Server) statsLocked() StatsResponse {
 		st.Journal = &m
 		st.Recovery = s.recov
 	}
+	if s.cfg.Replication != nil {
+		rs := s.cfg.Replication.ReplicationStatus()
+		st.Replication = &rs
+	}
 	return st
 }
 
@@ -606,9 +634,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			FreeWorkers     int `json:"free_workers"`
 			ActiveBags      int `json:"active_bags"`
 		} `json:"gauges"`
-		Journal         *journal.Metrics `json:"journal,omitempty"`
-		Recovery        *RecoveryInfo    `json:"recovery,omitempty"`
-		DecisionLatency LatencySummary   `json:"decision_latency"`
+		Journal         *journal.Metrics  `json:"journal,omitempty"`
+		Recovery        *RecoveryInfo     `json:"recovery,omitempty"`
+		Replication     *replicate.Status `json:"replication,omitempty"`
+		DecisionLatency LatencySummary    `json:"decision_latency"`
 	}{Counters: s.met}
 	doc.Gauges.PendingTasks = s.sched.PendingTasks()
 	doc.Gauges.RunningReplicas = s.sched.RunningReplicas()
@@ -618,6 +647,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m := s.jnl.Metrics()
 		doc.Journal = &m
 		doc.Recovery = s.recov
+	}
+	if s.cfg.Replication != nil {
+		rs := s.cfg.Replication.ReplicationStatus()
+		doc.Replication = &rs
 	}
 	s.mu.Unlock()
 	doc.DecisionLatency = s.decLat.Summary()
