@@ -16,11 +16,19 @@
 #                baseline, each engine in its own process so GC pacing
 #                starts equal, 3 runs per cell, medians) recorded as
 #                events/sec per configuration to BENCH_des.json
+#   make bench-serve  sustained dispatch throughput of the live sharded
+#                service: botload in-process at shards 1/2/4/8, 100k
+#                simulated worker identities multiplexed over 256 driver
+#                goroutines, recorded to BENCH_serve.json (dispatch/s,
+#                fetch p99, cpus). On a single-core host the trajectory
+#                shows lock-contention relief, not wall-clock speedup;
+#                the "cpus" metric records what parallelism the numbers
+#                were measured at (see DESIGN.md "Sharded dispatch")
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench check clean
+.PHONY: all build test race vet lint bench bench-serve check clean
 
 all: check
 
@@ -53,6 +61,17 @@ bench:
 	$(GO) run ./cmd/benchjson -median < benchdes.out > BENCH_des.json
 	@rm -f benchdes.out
 	@echo "wrote BENCH_des.json"
+
+bench-serve:
+	@rm -f benchserve.out
+	@for n in 1 2 4 8; do \
+	   $(GO) run ./cmd/botload -addr "" -policy FairShare -shards $$n \
+	     -workers 100000 -drivers 256 -bags 16 -tasks 500 -timescale 0 \
+	     -duration 10s -bench | tee -a benchserve.out ; \
+	 done
+	$(GO) run ./cmd/benchjson < benchserve.out > BENCH_serve.json
+	@rm -f benchserve.out
+	@echo "wrote BENCH_serve.json"
 
 check: build vet lint test race
 

@@ -8,7 +8,16 @@
 //	botload -addr 127.0.0.1:8431 -workers 50 -bags 8 -tasks 100
 //
 // With -addr "" botload starts an in-process server on a loopback port,
-// so a single invocation benchmarks the whole dispatch path.
+// so a single invocation benchmarks the whole dispatch path; -shards runs
+// that server's dispatch plane sharded.
+//
+// With -duration set, botload switches from drain-a-batch to sustained
+// mode: a feeder keeps the queue topped up, -drivers goroutines multiplex
+// the -workers simulated worker identities (so 100k+ workers need only a
+// few hundred goroutines), and after a warmup the sustained dispatch rate
+// and fetch-RTT percentiles are measured over the window. -bench
+// additionally emits the result as a `go test -bench`-format line, which
+// `make bench-serve` pipes through benchjson into BENCH_serve.json.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +59,10 @@ type options struct {
 	lease     time.Duration
 	timeout   time.Duration
 	seed      uint64
+	shards    int
+	duration  time.Duration
+	drivers   int
+	bench     bool
 }
 
 func main() {
@@ -69,6 +83,10 @@ func main() {
 	flag.DurationVar(&o.lease, "lease", 30*time.Second, "lease for the in-process server")
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "overall run timeout")
 	flag.Uint64Var(&o.seed, "seed", 7, "seed for workload and failure injection")
+	flag.IntVar(&o.shards, "shards", 1, "scheduler shards for the in-process server")
+	flag.DurationVar(&o.duration, "duration", 0, "sustained mode: measure steady-state throughput over this window instead of draining -bags")
+	flag.IntVar(&o.drivers, "drivers", 64, "sustained mode: goroutines multiplexing the -workers identities")
+	flag.BoolVar(&o.bench, "bench", false, "sustained mode: also print a go-bench-format result line for benchjson")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -100,6 +118,7 @@ func run(ctx context.Context, o options, w io.Writer) error {
 			Lease:       o.lease,
 			RetryMs:     1,
 			Seed:        o.seed,
+			Shards:      o.shards,
 		})
 		if err != nil {
 			return err
@@ -113,9 +132,12 @@ func run(ctx context.Context, o options, w io.Writer) error {
 		go hs.Serve(ln)
 		defer hs.Close()
 		addr = ln.Addr().String()
-		fmt.Fprintf(w, "in-process server: policy %s on %s\n", k, addr)
+		fmt.Fprintf(w, "in-process server: policy %s, %d shards, on %s\n", k, o.shards, addr)
 	}
 	c := serve.NewClient("http://" + addr)
+	if o.duration > 0 {
+		return sustain(ctx, o, w, c)
+	}
 
 	// Submit the workload: o.bags bags of o.tasks tasks with the paper's
 	// U[0.5X, 1.5X] durations.
@@ -176,6 +198,163 @@ func run(ctx context.Context, o options, w io.Writer) error {
 
 	report(w, o, st, rtt.Summary(), elapsed)
 	return nil
+}
+
+// sustain is botload's steady-state mode: the queue is kept topped up by
+// a feeder, the fleet never drains it, and throughput is measured over a
+// fixed window after a warmup. Worker identities are multiplexed over
+// o.drivers goroutines, so the worker count scales to 100k+ without 100k
+// goroutines: each driver walks its stride of the identity space issuing
+// fetch -> (scaled compute) -> report, which is exactly the paper's pull
+// cycle with the think time removed.
+func sustain(ctx context.Context, o options, w io.Writer, c *serve.Client) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	str := rng.Root(o.seed, "botload-works")
+	var submitMu sync.Mutex
+	submit := func() error {
+		submitMu.Lock()
+		works := make([]float64, o.tasks)
+		for j := range works {
+			works[j] = str.Uniform(0.5*o.work, 1.5*o.work)
+		}
+		submitMu.Unlock()
+		_, err := c.Submit(o.work, works)
+		return err
+	}
+	target := o.bags * o.tasks // queue depth the feeder maintains
+	for i := 0; i < o.bags; i++ {
+		if err := submit(); err != nil {
+			return fmt.Errorf("priming submit: %w", err)
+		}
+	}
+
+	rtt := serve.NewLatencyRecorder(1 << 16)
+	var dispatched atomic.Int64
+	drivers := o.drivers
+	if drivers <= 0 {
+		drivers = 64
+	}
+	if drivers > o.workers {
+		drivers = o.workers
+	}
+	var wg sync.WaitGroup
+	for d := 0; d < drivers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				for i := d; i < o.workers; i += drivers {
+					if ctx.Err() != nil {
+						return
+					}
+					id := fmt.Sprintf("load-%06d", i)
+					t0 := time.Now()
+					fr, err := c.Fetch(id, o.power)
+					if err != nil {
+						continue
+					}
+					rtt.Observe(time.Since(t0))
+					if !fr.Assigned {
+						continue
+					}
+					dispatched.Add(1)
+					if o.timeScale > 0 {
+						time.Sleep(time.Duration(fr.Assignment.Work / o.power * o.timeScale * float64(time.Second)))
+					}
+					c.Report(id, fr.Assignment.Replica, serve.StatusDone)
+				}
+			}
+		}(d)
+	}
+	// The feeder tops the queue back up to the priming depth so the fleet
+	// never idles on an empty queue mid-window.
+	go func() {
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			st, err := c.Stats()
+			if err != nil {
+				continue
+			}
+			for pending := st.PendingTasks + st.RunningReplicas; pending < target; pending += o.tasks {
+				if err := submit(); err != nil {
+					break
+				}
+			}
+		}
+	}()
+
+	// Warm up (registrations, connection pools, first rebalances), then
+	// measure the sustained window.
+	warm := o.duration / 5
+	if warm > 2*time.Second {
+		warm = 2 * time.Second
+	}
+	if err := sleepCtx(ctx, warm); err != nil {
+		return err
+	}
+	d0 := dispatched.Load()
+	st0, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := sleepCtx(ctx, o.duration); err != nil {
+		return err
+	}
+	d1 := dispatched.Load()
+	st1, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0).Seconds()
+	cancel()
+	wg.Wait()
+
+	rate := float64(d1-d0) / elapsed
+	sum := rtt.Summary()
+	fmt.Fprintf(w, "\nsustained %s window, %d workers over %d drivers, %d shards, policy %s\n",
+		o.duration, o.workers, drivers, o.shards, st1.Policy)
+	fmt.Fprintf(w, "dispatch: %.0f/s sustained (%d assignments in window), completions %.0f/s\n",
+		rate, d1-d0, float64(st1.TasksCompleted-st0.TasksCompleted)/elapsed)
+	fmt.Fprintf(w, "fetch RTT (n=%d): p50 %s  p95 %s  p99 %s  max %s\n",
+		sum.Count, ms(sum.P50), ms(sum.P95), ms(sum.P99), ms(sum.Max))
+	d := st1.DecisionLatency
+	fmt.Fprintf(w, "decision latency (n=%d): p50 %s  p95 %s  p99 %s\n", d.Count, ms(d.P50), ms(d.P95), ms(d.P99))
+	if st1.ShardCount > 1 {
+		fmt.Fprintf(w, "shards: %d, %d rebalances, %d worker moves\n", st1.ShardCount, st1.Rebalances, st1.WorkerMoves)
+	}
+	if o.bench {
+		// One go-bench-format line so `botload ... -bench | benchjson`
+		// lands in the same JSON shape as `go test -bench` suites. The
+		// dispatch rate and the p99 fetch RTT are the tracked metrics;
+		// cpus records the host parallelism the number was measured at.
+		iters := d1 - d0
+		if iters < 1 {
+			iters = 1
+		}
+		fmt.Fprintf(w, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+		fmt.Fprintf(w, "BenchmarkServeSustained/policy=%s/shards=%d-%d \t%d\t%.0f ns/op\t%.1f dispatch/s\t%.4f fetch-p99-ms\t%d cpus\n",
+			st1.Policy, o.shards, runtime.GOMAXPROCS(0), iters, elapsed*1e9/float64(iters), rate, sum.P99*1e3, runtime.NumCPU())
+	}
+	return nil
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
 }
 
 // hammer drives a replicated cluster through failovers: submits are

@@ -21,6 +21,13 @@
 // the complete pre-crash state: bags, queued and running tasks, worker
 // registrations, replica leases and stats counters.
 //
+// With -shards N the dispatch plane splits into N independent scheduler
+// shards, each with its own lock and its own journal under -data-dir, so
+// requests from different workers proceed in parallel with no global
+// mutex. The shard count is recorded in the data directory; restart with
+// the same -shards to recover, or rewrite the layout offline with
+// -reshard N first.
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes immediately,
 // in-flight requests finish (bounded by -grace), a final snapshot is
 // written, then the process exits.
@@ -68,6 +75,9 @@ func main() {
 		dataDir = flag.String("data-dir", "", "journal directory for crash recovery (empty: in-memory only)")
 		fsync   = flag.String("fsync", "batch", "journal durability: always, batch or off")
 		mtbf    = flag.Duration("snapshot-mtbf", 10*time.Minute, "expected crash interval driving the snapshot cadence")
+		shards  = flag.Int("shards", 1, "scheduler shards (independent lock + journal each)")
+		rebal   = flag.Duration("rebalance", time.Second, "cross-shard rebalance cadence for FairShare/LongIdle (negative: off)")
+		reshard = flag.Int("reshard", 0, "rewrite -data-dir's journal layout for this many shards, then exit")
 
 		nodeID    = flag.String("node-id", "", "this node's ID in a replicated cluster (requires -peers)")
 		peers     = flag.String("peers", "", "cluster members as id=host:port,... (replication listeners); empty runs standalone")
@@ -84,6 +94,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *reshard > 0 {
+		if *dataDir == "" {
+			log.Fatal("botserved: -reshard requires -data-dir")
+		}
+		if err := serve.Reshard(*dataDir, *reshard, fmode); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("botserved: %s resharded for %d shards", *dataDir, *reshard)
+		return
+	}
 	cfg := serve.Config{
 		Policy:       k,
 		MaxWorkers:   *workers,
@@ -95,6 +115,11 @@ func main() {
 		DataDir:      *dataDir,
 		Fsync:        fmode,
 		SnapshotMTBF: *mtbf,
+		Shards:       *shards,
+		Rebalance:    *rebal,
+	}
+	if *shards > 1 && *peers != "" {
+		log.Fatal("botserved: replication (-peers) requires -shards 1")
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

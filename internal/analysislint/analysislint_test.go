@@ -99,6 +99,13 @@ func TestRules(t *testing.T) {
 			cfg:      func([]string) Config { return Config{} },
 		},
 		{
+			// The sharded-dispatch shape: a lockless router over
+			// mutex-owning shards (internal/serve's Server/shard split).
+			name:     "locks",
+			fixtures: []string{"shardlockpos", "shardlockneg"},
+			cfg:      func([]string) Config { return Config{} },
+		},
+		{
 			name:     "hotpath",
 			fixtures: []string{"hotpathpos", "hotpathneg"},
 			cfg:      func([]string) Config { return Config{} },

@@ -1,0 +1,55 @@
+// Package shardlockneg is the clean-negative fixture for the
+// lock-discipline rule on the sharded-dispatch shape: the router never
+// touches shard state directly — every access goes through a shard method
+// that takes the shard's own lock — and snapshots are merged outside any
+// lock. This is exactly the discipline internal/serve's router follows.
+package shardlockneg
+
+import "sync"
+
+// shard owns one slice of the dispatch plane.
+type shard struct {
+	mu      sync.Mutex
+	pending int //botlint:guarded-by mu
+}
+
+// dispatch pops one unit of work.
+//
+//botlint:holds mu
+func (sh *shard) dispatch() int {
+	sh.pending--
+	return sh.pending
+}
+
+// fetch is the shard's locked entry point.
+func (sh *shard) fetch() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.dispatch()
+}
+
+// snapshot copies the guarded state out under the shard's lock.
+func (sh *shard) snapshot() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.pending
+}
+
+// router fans requests out to shards; it owns no lock of its own.
+type router struct {
+	shards []*shard
+}
+
+// Fetch routes to the owning shard's locked entry point.
+func (r *router) Fetch(i int) int {
+	return r.shards[i].fetch()
+}
+
+// Stats merges per-shard snapshots one shard at a time, outside any lock.
+func (r *router) Stats() int {
+	total := 0
+	for _, sh := range r.shards {
+		total += sh.snapshot()
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+// Package shardlockpos is the caught-positive fixture for the
+// lock-discipline rule on the sharded-dispatch shape: a router that holds
+// a slice of shards, each with its own mutex-guarded scheduler state. The
+// rule must catch the router reaching into a shard's guarded state — or a
+// holds-annotated shard helper — without taking that shard's lock.
+package shardlockpos
+
+import "sync"
+
+// shard owns one slice of the dispatch plane.
+type shard struct {
+	mu      sync.Mutex
+	pending int //botlint:guarded-by mu
+}
+
+// dispatch pops one unit of work.
+//
+//botlint:holds mu
+func (sh *shard) dispatch() int {
+	sh.pending--
+	return sh.pending
+}
+
+// fetch is the shard's own locked entry point.
+func (sh *shard) fetch() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.dispatch()
+}
+
+// router fans requests out to shards.
+type router struct {
+	shards []*shard
+}
+
+// Fetch routes through the shard's locked entry point — fine.
+func (r *router) Fetch(i int) int {
+	return r.shards[i].fetch()
+}
+
+// Sneak calls the locked-only helper without the shard's lock.
+func (r *router) Sneak(i int) int {
+	return r.shards[i].dispatch() // want locks
+}
+
+// Stats reads a shard's guarded field without its lock.
+func (r *router) Stats() int {
+	total := 0
+	for _, sh := range r.shards {
+		total += sh.pending // want locks
+	}
+	return total
+}

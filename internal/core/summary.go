@@ -1,0 +1,48 @@
+package core
+
+// DemandSummary is a coarse, O(bags) description of a scheduler's
+// outstanding demand. The sharded dispatch plane's cross-shard rebalancer
+// exchanges these between shards to approximate the globally-coupled
+// policies: FairShare's global equal-share rule needs to know how many
+// bags compete on each shard, LongIdle's global max-idle rule needs to
+// know where the longest-starved tasks wait. Everything else (per-task
+// detail, queue contents) deliberately stays shard-local.
+type DemandSummary struct {
+	// ActiveBags counts incomplete bags.
+	ActiveBags int
+	// PendingTasks counts queued (replica-less) tasks.
+	PendingTasks int
+	// RunningReplicas counts executing replicas.
+	RunningReplicas int
+	// MaxFrontIdle is the largest IdleTime among each bag's queue-front
+	// task — the shard's best claim on the globally longest-idle task.
+	// Queue fronts are WQR-FT resubmissions first, then FIFO order, so
+	// the front is the bag's oldest claim without walking every task.
+	MaxFrontIdle float64
+	// SumFrontIdle sums those per-bag front idle times: a volume measure
+	// of how starved the shard's bags are collectively.
+	SumFrontIdle float64
+}
+
+// DemandSummary summarizes the scheduler's demand as of now. Live mode
+// only; the caller owns synchronization (the dispatch service calls it
+// under its shard mutex).
+func (s *Scheduler) DemandSummary(now float64) DemandSummary {
+	d := DemandSummary{
+		ActiveBags:      len(s.bags),
+		PendingTasks:    s.pendingTotal,
+		RunningReplicas: s.totalRunning,
+	}
+	for _, b := range s.bags {
+		t := b.pending.peek()
+		if t == nil {
+			continue
+		}
+		idle := t.IdleTime(now)
+		if idle > d.MaxFrontIdle {
+			d.MaxFrontIdle = idle
+		}
+		d.SumFrontIdle += idle
+	}
+	return d
+}

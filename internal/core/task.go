@@ -302,6 +302,14 @@ func (q *pendingQueue) forEach(f func(*Task)) {
 	}
 }
 
+// peek returns the next task pop would return without removing it.
+func (q *pendingQueue) peek() *Task {
+	if q.size == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
 func (q *pendingQueue) pop() *Task {
 	if q.size == 0 {
 		return nil

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,13 @@ func TestCrashHelperProcess(t *testing.T) {
 		fmt.Printf("HELPER_ERR=%v\n", err)
 		os.Exit(1)
 	}
+	shards := 1
+	if v := os.Getenv("BOTGRID_CRASH_SHARDS"); v != "" {
+		if shards, err = strconv.Atoi(v); err != nil {
+			fmt.Printf("HELPER_ERR=%v\n", err)
+			os.Exit(1)
+		}
+	}
 	s, err := NewServer(Config{
 		Policy:      k,
 		MaxWorkers:  crashWorkers,
@@ -51,6 +59,7 @@ func TestCrashHelperProcess(t *testing.T) {
 		RetryMs:     1,
 		DataDir:     os.Getenv("BOTGRID_CRASH_DIR"),
 		Fsync:       journal.FsyncBatch,
+		Shards:      shards,
 	})
 	if err != nil {
 		fmt.Printf("HELPER_ERR=%v\n", err)
@@ -68,12 +77,13 @@ func TestCrashHelperProcess(t *testing.T) {
 
 // startHelper launches the crash helper daemon on dir and waits for its
 // address.
-func startHelper(t *testing.T, dir string, k core.PolicyKind) *exec.Cmd {
+func startHelper(t *testing.T, dir string, k core.PolicyKind, shards int) *exec.Cmd {
 	t.Helper()
 	return startHelperProc(t, "^TestCrashHelperProcess$",
 		"BOTGRID_CRASH_HELPER=1",
 		"BOTGRID_CRASH_DIR="+dir,
 		"BOTGRID_CRASH_POLICY="+k.String(),
+		fmt.Sprintf("BOTGRID_CRASH_SHARDS=%d", shards),
 	)
 }
 
@@ -172,10 +182,10 @@ func resilientWorker(ctx context.Context, cl *atomic.Pointer[Client], id string,
 // verifies nothing acknowledged was lost, and runs the workload to
 // completion. It returns the mean turnaround in reference seconds with the
 // measured outage subtracted (the outage is policy-independent downtime).
-func crashRun(t *testing.T, k core.PolicyKind, bots int, tasks int) float64 {
+func crashRun(t *testing.T, k core.PolicyKind, bots int, tasks int, shards int) float64 {
 	t.Helper()
 	dir := t.TempDir()
-	cmd := startHelper(t, dir, k)
+	cmd := startHelper(t, dir, k, shards)
 	killed := false
 	defer func() {
 		if !killed {
@@ -232,7 +242,7 @@ func crashRun(t *testing.T, k core.PolicyKind, bots int, tasks int) float64 {
 	cmd.Wait()
 	killed = true
 
-	cmd2 := startHelper(t, dir, k)
+	cmd2 := startHelper(t, dir, k, shards)
 	defer func() {
 		cmd2.Process.Kill()
 		cmd2.Wait()
@@ -252,11 +262,29 @@ func crashRun(t *testing.T, k core.PolicyKind, bots int, tasks int) float64 {
 		t.Fatalf("%s: %d tasks complete after recovery, but %d results were acknowledged",
 			k, st.TasksCompleted, ackedAtKill)
 	}
-	if st.Recovery == nil || st.Recovery.Fresh {
-		t.Fatalf("%s: restarted server reports no recovery: %+v", k, st.Recovery)
-	}
-	if st.Recovery.SnapshotLSN == 0 && st.Recovery.RecordsReplayed == 0 {
-		t.Fatalf("%s: recovery replayed nothing", k)
+	if shards == 1 {
+		if st.Recovery == nil || st.Recovery.Fresh {
+			t.Fatalf("%s: restarted server reports no recovery: %+v", k, st.Recovery)
+		}
+		if st.Recovery.SnapshotLSN == 0 && st.Recovery.RecordsReplayed == 0 {
+			t.Fatalf("%s: recovery replayed nothing", k)
+		}
+	} else {
+		// Sharded: each shard reports its own journal recovery.
+		if st.ShardCount != shards || len(st.ShardStats) != shards {
+			t.Fatalf("%s: restarted server reports %d/%d shards", k, st.ShardCount, len(st.ShardStats))
+		}
+		replayed := 0
+		for _, ss := range st.ShardStats {
+			if ss.Recovery == nil || ss.Recovery.Fresh {
+				t.Fatalf("%s: shard %d reports no recovery: %+v", k, ss.Shard, ss.Recovery)
+			}
+			replayed += ss.Recovery.RecordsReplayed
+			replayed += int(ss.Recovery.SnapshotLSN)
+		}
+		if replayed == 0 {
+			t.Fatalf("%s: sharded recovery replayed nothing", k)
+		}
 	}
 	// A pre-crash completed replica's token must be rejected as stale.
 	if ack, err := cl.Load().Report(staleWorker, staleSeq, StatusDone); err != nil || ack != AckStale {
@@ -302,10 +330,50 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	policies := []core.PolicyKind{core.FCFSShare, core.LongIdle, core.RR}
 	mean := make(map[core.PolicyKind]float64)
 	for _, k := range policies {
-		mean[k] = crashRun(t, k, lvsBags, lvsTasks)
+		mean[k] = crashRun(t, k, lvsBags, lvsTasks, 1)
 		t.Logf("%-10s mean turnaround across crash %8.0f ref-s", k, mean[k])
 	}
 	if !(mean[core.FCFSShare] < mean[core.RR]) || !(mean[core.LongIdle] < mean[core.RR]) {
 		t.Fatalf("Figure-1 ranking lost across crash recovery: %+v", mean)
+	}
+}
+
+// TestShardedCrashRecoverySIGKILL is the sharded durability acceptance
+// test: a 4-shard daemon is SIGKILLed mid-traffic and restarted on the
+// same data directory. All four journals replay, no bag and no
+// acknowledged result is lost, pre-crash replica tokens stay stale, and
+// the workload runs to completion. A restart under the wrong shard count
+// must be refused before any state is touched.
+func TestShardedCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-restart integration test")
+	}
+	mean := crashRun(t, core.FCFSShare, lvsBags, lvsTasks, 4)
+	t.Logf("FCFS-Share 4-shard mean turnaround across crash %8.0f ref-s", mean)
+}
+
+// TestShardedRestartWrongCountRefused checks the running-daemon side of
+// the manifest contract: a helper journals under 4 shards, exits, and a
+// server opened on the directory with 2 shards fails fast with the
+// reshard hint.
+func TestShardedRestartWrongCountRefused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-restart integration test")
+	}
+	dir := t.TempDir()
+	cmd := startHelper(t, dir, core.FCFSShare, 4)
+	cl := NewClient("http://" + helperAddr(cmd))
+	if _, err := cl.Submit(100, []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	_, err := NewServer(Config{
+		MaxWorkers: crashWorkers,
+		DataDir:    dir,
+		Shards:     2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "reshard") {
+		t.Fatalf("2-shard open of a 4-shard directory: err=%v", err)
 	}
 }

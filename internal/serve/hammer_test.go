@@ -80,9 +80,7 @@ func TestConcurrentHammer(t *testing.T) {
 	cancel()
 	wg.Wait()
 
-	srv.mu.Lock()
-	srv.sched.CheckInvariants()
-	srv.mu.Unlock()
+	checkInvariants(srv)
 
 	st, err := c.Stats()
 	if err != nil {
@@ -169,7 +167,5 @@ func TestCrashingWorkersStillDrain(t *testing.T) {
 	}
 	cancel()
 	wg.Wait()
-	srv.mu.Lock()
-	srv.sched.CheckInvariants()
-	srv.mu.Unlock()
+	checkInvariants(srv)
 }

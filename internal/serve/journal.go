@@ -1,10 +1,12 @@
 package serve
 
 // Journal glue: this file wires the durability subsystem (internal/journal)
-// into the dispatch server. The server journals every scheduler mutation
-// plus its own worker-table events, snapshots the complete state on the
-// journal's Young-formula cadence, and rebuilds everything from disk in
-// NewServer after a crash.
+// into the dispatch shards. Each shard journals every scheduler mutation
+// plus its own worker-table events into its own log, snapshots its
+// complete state on the journal's Young-formula cadence, and rebuilds
+// everything from disk in NewServer after a crash. A sharded data
+// directory holds one journal per shard plus a layout manifest; recovery
+// replays the N journals independently.
 
 import (
 	"encoding/json"
@@ -16,10 +18,10 @@ import (
 	"botgrid/internal/journal"
 )
 
-// Log is the record log the server journals through. *journal.Journal is
+// Log is the record log a shard journals through. *journal.Journal is
 // the standalone implementation (WaitDurable = local fsync); the
 // replication layer's *replicate.Replica is the clustered one (WaitDurable
-// = durable on a quorum of nodes). The server treats both identically:
+// = durable on a quorum of nodes). The shard treats both identically:
 // append under mu, wait for durability before acking, snapshot on the
 // Young-formula cadence, close on shutdown.
 type Log interface {
@@ -31,8 +33,8 @@ type Log interface {
 	Close() error
 }
 
-// RecoveryInfo summarizes what NewServer rebuilt from the journal at
-// startup. It is served verbatim on /v1/stats and /metrics so operators
+// RecoveryInfo summarizes what NewServer rebuilt from one shard's journal
+// at startup. It is served verbatim on /v1/stats and /metrics so operators
 // can see how the last restart went.
 type RecoveryInfo struct {
 	// Fresh is true when the data directory was newly initialized (nothing
@@ -64,18 +66,16 @@ type RecoveryInfo struct {
 	LeasesExpired int `json:"leases_expired_on_recovery"`
 }
 
-// Recovery returns the startup recovery summary, nil when the server runs
-// without a journal.
-func (s *Server) Recovery() *RecoveryInfo { return s.recov }
-
 // recoveredOrigin picks the wall-clock origin for a recovered timeline:
 // the journal's persisted epoch, shifted back if needed so the clock never
 // runs behind the newest replayed event time (host clock skew, a data dir
-// moved between machines).
-func recoveredOrigin(rec *journal.Recovered) time.Time {
-	origin := rec.Epoch
-	if rec.State != nil && rec.State.MaxTime > 0 {
-		latest := time.Now().Add(-time.Duration(rec.State.MaxTime * float64(time.Second)))
+// moved between machines). For a sharded directory the epoch is shared
+// (all shard journals are created together) and maxTime is the newest
+// event across every shard.
+func recoveredOrigin(epoch time.Time, maxTime float64) time.Time {
+	origin := epoch
+	if maxTime > 0 {
+		latest := time.Now().Add(-time.Duration(maxTime * float64(time.Second)))
 		if origin.After(latest) {
 			origin = latest
 		}
@@ -83,54 +83,54 @@ func recoveredOrigin(rec *journal.Recovered) time.Time {
 	return origin
 }
 
-// restore rebuilds the server's entire mutable state from a recovered
+// restore rebuilds the shard's entire mutable state from its recovered
 // journal. Runs during NewServer, before any request can arrive, so the
 // constructor owns the state exclusively — annotated as holding mu to make
 // that exclusivity explicit at the call site.
 //
 //botlint:holds mu
-func (s *Server) restore(rec *journal.Recovered, pol core.Policy) error {
+func (sh *shard) restore(rec *journal.Recovered, pol core.Policy) error {
 	st := rec.State
-	now := s.clock.Now()
+	now := sh.clock.Now()
 	if now < st.MaxTime {
 		return fmt.Errorf("clock %.3f runs behind journaled time %.3f", now, st.MaxTime)
 	}
 	// Machines hosting a recovered replica come back up before promotion:
 	// their lease is still live and the worker may still report the result.
 	for _, rs := range st.Sched.Replicas {
-		if rs.Machine < 0 || rs.Machine >= len(s.g.Machines) {
+		if rs.Machine < 0 || rs.Machine >= len(sh.g.Machines) {
 			return fmt.Errorf("replica on machine %d of %d (MaxWorkers shrank?)",
-				rs.Machine, len(s.g.Machines))
+				rs.Machine, len(sh.g.Machines))
 		}
-		if m := s.g.Machines[rs.Machine]; !m.Up() {
+		if m := sh.g.Machines[rs.Machine]; !m.Up() {
 			m.ForceRepair(now)
 		}
 	}
-	sched, err := core.RestoreLiveScheduler(s.clock, s.g, pol, s.cfg.Sched, s.cfg.Observer, st.Sched)
+	sched, err := core.RestoreLiveScheduler(sh.clock, sh.g, pol, sh.cfg.Sched, sh.cfg.Observer, st.Sched)
 	if err != nil {
 		return err
 	}
-	s.sched = sched
+	sh.sched = sched
 	for i, wsnap := range st.Workers {
 		// Registration order assigns slots sequentially, so slot i belongs
 		// to the i-th registered worker; anything else means the journal
 		// was written under a different worker-table scheme.
-		if wsnap.Machine != i || wsnap.Machine >= len(s.g.Machines) {
+		if wsnap.Machine != i || wsnap.Machine >= len(sh.g.Machines) {
 			return fmt.Errorf("worker %q on slot %d of %d (MaxWorkers changed?)",
-				wsnap.ID, wsnap.Machine, len(s.g.Machines))
+				wsnap.ID, wsnap.Machine, len(sh.g.Machines))
 		}
-		s.workers[wsnap.ID] = &workerState{
+		sh.workers[wsnap.ID] = &workerState{
 			id:         wsnap.ID,
-			m:          s.g.Machines[wsnap.Machine],
+			m:          sh.g.Machines[wsnap.Machine],
 			power:      wsnap.Power,
 			lastSeen:   wsnap.LastSeen,
 			lastLogged: wsnap.LastSeen,
 		}
 	}
-	s.completed = slices.Clone(st.Completed)
+	sh.completed = slices.Clone(st.Completed)
 	for _, cb := range st.Completed {
-		s.doneBags[cb.ID] = BagStatus{
-			Bag:         cb.ID,
+		sh.doneBags[cb.ID] = BagStatus{
+			Bag:         sh.globalBag(cb.ID),
 			Granularity: cb.Granularity,
 			Tasks:       cb.Tasks,
 			Done:        cb.Tasks,
@@ -139,20 +139,20 @@ func (s *Server) restore(rec *journal.Recovered, pol core.Policy) error {
 			DoneAt:      cb.DoneAt,
 			Turnaround:  cb.DoneAt - cb.Arrival,
 		}
-		s.bagIDs = append(s.bagIDs, cb.ID)
+		sh.bagIDs = append(sh.bagIDs, cb.ID)
 	}
 	for _, b := range sched.Bags() {
-		s.bags[b.ID] = b
-		s.bagIDs = append(s.bagIDs, b.ID)
+		sh.bags[b.ID] = b
+		sh.bagIDs = append(sh.bagIDs, b.ID)
 	}
-	slices.Sort(s.bagIDs) // bag IDs are issued in submission order
+	slices.Sort(sh.bagIDs) // local bag IDs are issued in submission order
 	if len(st.Service) > 0 {
 		// Dispatch counters ride along in the snapshot's opaque service
 		// blob; best-effort — stats continuity never blocks recovery.
-		json.Unmarshal(st.Service, &s.met)
+		json.Unmarshal(st.Service, &sh.met)
 	}
-	s.lastLSN = rec.LastLSN
-	s.recov = &RecoveryInfo{
+	sh.lastLSN = rec.LastLSN
+	sh.recov = &RecoveryInfo{
 		Fresh:            rec.Fresh,
 		SnapshotLSN:      rec.SnapshotLSN,
 		LastLSN:          rec.LastLSN,
@@ -161,9 +161,9 @@ func (s *Server) restore(rec *journal.Recovered, pol core.Policy) error {
 		TornBytes:        rec.TornBytes,
 		SnapshotsSkipped: rec.SnapshotsSkipped,
 		DurationSec:      rec.Elapsed.Seconds(),
-		Bags:             len(s.bags),
+		Bags:             len(sh.bags),
 		CompletedBags:    len(st.Completed),
-		Workers:          len(s.workers),
+		Workers:          len(sh.workers),
 		Replicas:         len(st.Sched.Replicas),
 	}
 	return nil
@@ -174,37 +174,37 @@ func (s *Server) restore(rec *journal.Recovered, pol core.Policy) error {
 // scheduler call that caused the mutation.
 //
 //botlint:holds mu
-func (s *Server) journalMutation(m core.Mutation) {
+func (sh *shard) journalMutation(m core.Mutation) {
 	if m.Kind == core.MutBagCompleted {
 		// The scheduler drops completed bags; archive the final status
 		// first so it survives both this process and restarts.
-		if b, ok := s.bags[m.Bag]; ok {
-			s.completed = append(s.completed, journal.CompletedBag{
+		if b, ok := sh.bags[m.Bag]; ok {
+			sh.completed = append(sh.completed, journal.CompletedBag{
 				ID:          b.ID,
 				Arrival:     b.Arrival,
 				Granularity: b.Granularity,
 				DoneAt:      b.DoneAt,
 				Tasks:       len(b.Tasks),
 			})
-			s.doneBags[m.Bag] = bagStatus(b)
-			delete(s.bags, m.Bag)
+			sh.doneBags[m.Bag] = sh.bagStatus(b)
+			delete(sh.bags, m.Bag)
 		}
 	}
 	r := journal.FromMutation(m)
-	s.appendRec(&r)
+	sh.appendRec(&r)
 }
 
-// journalWorker records a worker's slot binding (or power change). Must be
-// called with mu held; no-op without a journal.
+// journalWorker records a worker's slot binding (or power change). No-op
+// without a journal.
 //
 //botlint:holds mu
-func (s *Server) journalWorker(ws *workerState) {
-	if s.jnl == nil {
+func (sh *shard) journalWorker(ws *workerState) {
+	if sh.jnl == nil {
 		return
 	}
-	now := s.clock.Now()
+	now := sh.clock.Now()
 	ws.lastLogged = now
-	s.appendRec(&journal.Record{
+	sh.appendRec(&journal.Record{
 		Kind:    journal.KindWorkerRegistered,
 		Time:    now,
 		Machine: ws.m.ID,
@@ -215,64 +215,64 @@ func (s *Server) journalWorker(ws *workerState) {
 
 // touch marks the worker alive now, journaling a coarsened WorkerSeen
 // record at most every seenQuant seconds so recovered lease deadlines are
-// accurate without heartbeats dominating the log. Must be called with mu
-// held; returns the current time.
+// accurate without heartbeats dominating the log. Returns the current
+// time.
 //
 //botlint:holds mu
-func (s *Server) touch(ws *workerState) float64 {
-	now := s.clock.Now()
+func (sh *shard) touch(ws *workerState) float64 {
+	now := sh.clock.Now()
 	ws.lastSeen = now
-	if s.jnl != nil && now-ws.lastLogged >= s.seenQuant {
+	if sh.jnl != nil && now-ws.lastLogged >= sh.seenQuant {
 		ws.lastLogged = now
-		s.appendRec(&journal.Record{Kind: journal.KindWorkerSeen, Time: now, Machine: ws.m.ID})
+		sh.appendRec(&journal.Record{Kind: journal.KindWorkerSeen, Time: now, Machine: ws.m.ID})
 	}
 	return now
 }
 
 // appendRec appends one record, tracking the newest LSN covering the
-// server's state. Append errors are not surfaced here — the journal holds
+// shard's state. Append errors are not surfaced here — the journal holds
 // its first fatal error and waitDurable reports it to the requests that
-// need durability. Must be called with mu held.
+// need durability.
 //
 //botlint:holds mu
 //botlint:hotpath
-func (s *Server) appendRec(r *journal.Record) {
-	if lsn, err := s.jnl.Append(r); err == nil {
-		s.lastLSN = lsn
+func (sh *shard) appendRec(r *journal.Record) {
+	if lsn, err := sh.jnl.Append(r); err == nil {
+		sh.lastLSN = lsn
 	}
 }
 
 // waitDurable blocks until record lsn is on disk per the journal's fsync
 // mode. Called after releasing mu, before acknowledging a request whose
 // effect must survive a crash. No-op without a journal.
-func (s *Server) waitDurable(lsn uint64) error {
-	if s.jnl == nil {
+func (sh *shard) waitDurable(lsn uint64) error {
+	if sh.jnl == nil {
 		return nil
 	}
-	return s.jnl.WaitDurable(lsn)
+	return sh.jnl.WaitDurable(lsn)
 }
 
-// captureState snapshots the complete service state for the journal's
+// captureState snapshots the complete shard state for the journal's
 // snapshot loop.
-func (s *Server) captureState() (*journal.State, uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.captureStateLocked()
+func (sh *shard) captureState() (*journal.State, uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.captureStateLocked()
 }
 
 // captureStateLocked builds the durable State and the LSN it covers: all
 // journaling happens under mu, so lastLSN is exactly the newest record
-// reflected in the captured state. Must be called with mu held.
+// reflected in the captured state.
 //
 //botlint:holds mu
-func (s *Server) captureStateLocked() (*journal.State, uint64) {
+func (sh *shard) captureStateLocked() (*journal.State, uint64) {
 	st := &journal.State{
-		Time:      s.clock.Now(),
-		Sched:     s.sched.SnapshotState(),
-		Workers:   make([]journal.WorkerSnapshot, 0, len(s.workers)),
-		Completed: slices.Clone(s.completed),
+		Time:      sh.clock.Now(),
+		Sched:     sh.sched.SnapshotState(),
+		Workers:   make([]journal.WorkerSnapshot, 0, len(sh.workers)),
+		Completed: slices.Clone(sh.completed),
 	}
-	for _, ws := range s.workers {
+	for _, ws := range sh.workers {
 		st.Workers = append(st.Workers, journal.WorkerSnapshot{
 			ID:       ws.id,
 			Machine:  ws.m.ID,
@@ -282,23 +282,23 @@ func (s *Server) captureStateLocked() (*journal.State, uint64) {
 	}
 	// Slot order == registration order; restore depends on it.
 	slices.SortFunc(st.Workers, func(a, b journal.WorkerSnapshot) int { return a.Machine - b.Machine })
-	if blob, err := json.Marshal(s.met); err == nil {
+	if blob, err := json.Marshal(sh.met); err == nil {
 		st.Service = blob
 	}
-	return st, s.lastLSN
+	return st, sh.lastLSN
 }
 
 // finalize writes the shutdown snapshot and closes the journal: the next
 // start recovers from the snapshot alone, with zero log replay.
-func (s *Server) finalize() error {
-	if s.jnl == nil {
+func (sh *shard) finalize() error {
+	if sh.jnl == nil {
 		return nil
 	}
-	s.mu.Lock()
-	st, lsn := s.captureStateLocked()
-	s.mu.Unlock()
-	snapErr := s.jnl.WriteSnapshot(lsn, st)
-	closeErr := s.jnl.Close()
+	sh.mu.Lock()
+	st, lsn := sh.captureStateLocked()
+	sh.mu.Unlock()
+	snapErr := sh.jnl.WriteSnapshot(lsn, st)
+	closeErr := sh.jnl.Close()
 	if snapErr != nil {
 		return fmt.Errorf("final snapshot: %w", snapErr)
 	}

@@ -68,6 +68,13 @@ func simMeanTurnaround(t *testing.T, k core.PolicyKind, bots []*workload.BoT) fl
 // fleet of sleeping workers, returning the mean turnaround in reference
 // seconds (wall seconds divided by timeScale) for comparability.
 func liveMeanTurnaround(t *testing.T, k core.PolicyKind, bots []*workload.BoT) float64 {
+	return liveMeanTurnaroundN(t, k, bots, 1)
+}
+
+// liveMeanTurnaroundN is liveMeanTurnaround on a sharded dispatch plane:
+// same workload, same fleet, shards > 1 exercising the consistent-hash
+// worker placement and the cross-shard rebalancer's policy approximation.
+func liveMeanTurnaroundN(t *testing.T, k core.PolicyKind, bots []*workload.BoT, shards int) float64 {
 	t.Helper()
 	srv, err := NewServer(Config{
 		Policy:      k,
@@ -75,6 +82,8 @@ func liveMeanTurnaround(t *testing.T, k core.PolicyKind, bots []*workload.BoT) f
 		WorkerPower: lvsPower,
 		Lease:       10 * time.Second,
 		RetryMs:     1,
+		Shards:      shards,
+		Rebalance:   20 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -158,5 +167,32 @@ func TestLiveMatchesSimulatorPolicyRanking(t *testing.T) {
 	// ...and reproduced by the live service under wall-clock time.
 	if !(live[core.FCFSShare] < live[core.RR]) || !(live[core.LongIdle] < live[core.RR]) {
 		t.Fatalf("live ranking diverges from simulator: %+v", live)
+	}
+}
+
+// TestShardedLiveMatchesSimulatorPolicyRanking is the sharding fidelity
+// test: the same workload on a 2-shard dispatch plane, where FairShare and
+// LongIdle run as shard-local approximations coupled only through the
+// rebalancer, must still reproduce the simulator's Figure-1 ranking. The
+// per-policy fidelity delta against the global (simulator) turnaround is
+// logged so regressions in the approximation are visible in the test log.
+func TestShardedLiveMatchesSimulatorPolicyRanking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock integration test")
+	}
+	const shards = 2
+	bots := lvsBots()
+	policies := []core.PolicyKind{core.FCFSShare, core.LongIdle, core.FairShare, core.RR}
+	sim := make(map[core.PolicyKind]float64)
+	live := make(map[core.PolicyKind]float64)
+	for _, k := range policies {
+		sim[k] = simMeanTurnaround(t, k, bots)
+		live[k] = liveMeanTurnaroundN(t, k, bots, shards)
+		delta := (live[k] - sim[k]) / sim[k] * 100
+		t.Logf("%-10s sim %8.0f ref-s   %d-shard live %8.0f ref-s   fidelity delta %+6.1f%%",
+			k, sim[k], shards, live[k], delta)
+	}
+	if !(live[core.FCFSShare] < live[core.RR]) || !(live[core.LongIdle] < live[core.RR]) {
+		t.Fatalf("Figure-1 ranking lost on the sharded plane: %+v", live)
 	}
 }

@@ -69,8 +69,52 @@ func (l *LatencyRecorder) Summary() LatencySummary {
 	return out
 }
 
+// window copies out the retained samples plus lifetime count and max.
+func (l *LatencyRecorder) window() (samples []float64, count int, max float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.idx
+	if l.filled {
+		n = len(l.ring)
+	}
+	samples = make([]float64, n)
+	copy(samples, l.ring[:n])
+	return samples, l.count, l.max
+}
+
+// MergeSummaries summarizes the union of several recorders' windows — the
+// sharded server's per-shard decision-latency recorders merge into one
+// wire summary. Percentiles are computed over the pooled samples; Count
+// and Max cover every sample ever observed by any recorder. Each
+// recorder's window is copied out under its own lock; the pooling and
+// sort run outside all of them.
+func MergeSummaries(recs ...*LatencyRecorder) LatencySummary {
+	var pool []float64
+	var out LatencySummary
+	for _, l := range recs {
+		if l == nil {
+			continue
+		}
+		w, count, max := l.window()
+		pool = append(pool, w...)
+		out.Count += count
+		if max > out.Max {
+			out.Max = max
+		}
+	}
+	if len(pool) == 0 {
+		return out
+	}
+	sort.Float64s(pool)
+	out.P50 = stats.PercentileOfSorted(pool, 0.50)
+	out.P95 = stats.PercentileOfSorted(pool, 0.95)
+	out.P99 = stats.PercentileOfSorted(pool, 0.99)
+	return out
+}
+
 // counters are the server's monotonic event counters, mutated only with
-// the server mutex held and exported verbatim on /metrics.
+// the owning shard's mutex held and exported (summed across shards) on
+// /metrics.
 type counters struct {
 	Fetches       int `json:"fetches"`
 	Assigned      int `json:"assigned"`
@@ -81,4 +125,17 @@ type counters struct {
 	Heartbeats    int `json:"heartbeats"`
 	Submits       int `json:"submits"`
 	LeaseExpiries int `json:"lease_expiries"`
+}
+
+// add accumulates another shard's counters into c.
+func (c *counters) add(o counters) {
+	c.Fetches += o.Fetches
+	c.Assigned += o.Assigned
+	c.NoWork += o.NoWork
+	c.ReportsDone += o.ReportsDone
+	c.ReportsFailed += o.ReportsFailed
+	c.StaleReports += o.StaleReports
+	c.Heartbeats += o.Heartbeats
+	c.Submits += o.Submits
+	c.LeaseExpiries += o.LeaseExpiries
 }

@@ -109,6 +109,22 @@ type BagStatus struct {
 	Turnaround  float64 `json:"turnaround"`
 }
 
+// ShardStatus is one scheduler shard's slice of the /v1/stats snapshot.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// Weight is the shard's current vnode count on the worker ring; the
+	// rebalancer raises it to attract capacity.
+	Weight          int              `json:"weight"`
+	Workers         int              `json:"workers"`
+	LiveWorkers     int              `json:"live_workers"`
+	FreeWorkers     int              `json:"free_workers"`
+	PendingTasks    int              `json:"pending_tasks"`
+	RunningReplicas int              `json:"running_replicas"`
+	ActiveBags      int              `json:"active_bags"`
+	Journal         *journal.Metrics `json:"journal,omitempty"`
+	Recovery        *RecoveryInfo    `json:"recovery,omitempty"`
+}
+
 // LatencySummary summarizes a latency distribution in seconds.
 type LatencySummary struct {
 	Count int     `json:"count"`
@@ -140,9 +156,17 @@ type StatsResponse struct {
 
 	// Journal and Recovery report the durability subsystem: journal
 	// counters and the last startup's recovery summary. Absent when the
-	// server runs without -data-dir.
+	// server runs without -data-dir, and on a sharded server (each shard
+	// has its own journal; see ShardStats).
 	Journal  *journal.Metrics `json:"journal,omitempty"`
 	Recovery *RecoveryInfo    `json:"recovery,omitempty"`
+	// ShardCount, Rebalances, WorkerMoves and ShardStats describe the
+	// sharded dispatch plane; all absent on a single-shard server (whose
+	// wire shape is unchanged from the pre-sharding protocol).
+	ShardCount int           `json:"shard_count,omitempty"`
+	Rebalances int           `json:"rebalances,omitempty"`
+	WorkerMoves int          `json:"worker_moves,omitempty"`
+	ShardStats []ShardStatus `json:"shards,omitempty"`
 	// Replication reports the cluster state (role, term, commit LSN,
 	// per-follower match) when the server runs replicated. A follower
 	// answers /v1/stats with only this field populated.

@@ -1,7 +1,7 @@
 // Package serve runs the paper's knowledge-free bag-selection policies as
 // a live work-dispatch service: the same core.Scheduler that drives the
-// simulator, wrapped in a mutex and driven by wall-clock time, serving
-// real concurrent workers over HTTP.
+// simulator, wrapped in per-shard mutexes and driven by wall-clock time,
+// serving real concurrent workers over HTTP.
 //
 // Workers pull in the BOINC/OurGrid style: each registered worker owns one
 // grid.Machine slot, fetching maps to the machine joining the free pool,
@@ -10,6 +10,15 @@
 // heartbeating past its lease is handled exactly like the paper's machine
 // failure: the replica is killed and its task resubmitted at the front of
 // the bag's queue. See protocol.go for the endpoint reference.
+//
+// The dispatch plane is partitioned into Config.Shards independent
+// scheduler shards (shard.go): workers land on shards by consistent
+// hashing, bags by round-robin striping, and the Server here is only a
+// router — it holds no lock of its own on the hot path, so requests on
+// distinct shards proceed fully in parallel. Globally-coupled policies
+// (FairShare, LongIdle) are approximated per shard with a periodic
+// cross-shard rebalancer (rebalance.go) shifting worker capacity toward
+// the shards that need it.
 package serve
 
 import (
@@ -18,8 +27,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"botgrid/internal/core"
@@ -27,14 +39,15 @@ import (
 	"botgrid/internal/journal"
 	"botgrid/internal/replicate"
 	"botgrid/internal/rng"
+	ring "botgrid/internal/shard"
 )
 
 // Config tunes the work-dispatch server.
 type Config struct {
 	// Policy selects the bag-selection policy (default FCFS-Share).
 	Policy core.PolicyKind
-	// MaxWorkers caps registered workers; each owns one machine slot
-	// (default 256).
+	// MaxWorkers caps registered workers across all shards; each owns one
+	// machine slot (default 256).
 	MaxWorkers int
 	// WorkerPower is each slot's nominal computing power (default 10,
 	// the paper's Hom machine). The knowledge-free policies never read
@@ -49,11 +62,12 @@ type Config struct {
 	// RetryMs is the poll-again hint returned to idle workers
 	// (default 100).
 	RetryMs int
-	// Seed drives the Random policy's stream.
+	// Seed drives the Random policy's stream (per shard, split by shard
+	// index).
 	Seed uint64
-	// Observer, when non-nil, receives every scheduling event. Callbacks
-	// run with the server's mutex held; they must not call back into the
-	// server.
+	// Observer, when non-nil, receives every scheduling event on every
+	// shard. Callbacks run with the owning shard's mutex held and see
+	// shard-local bag IDs; they must not call back into the server.
 	Observer core.Observer
 	// Clock overrides the time source (tests); nil means a WallClock
 	// started at NewServer — or, with DataDir set, at the journal's
@@ -61,10 +75,25 @@ type Config struct {
 	// restarts.
 	Clock core.Clock
 
+	// Shards partitions the dispatch plane into this many independent
+	// scheduler shards (default 1). Each shard owns its own scheduler,
+	// lock and journal; there is no global mutex on the dispatch hot
+	// path. The shard count is recorded in the data directory's manifest:
+	// restarting with the same count recovers exactly, a different count
+	// is refused until the directory is resharded (Reshard).
+	Shards int
+	// Rebalance is the cross-shard rebalance cadence for the globally-
+	// coupled policies (FairShare, LongIdle): every interval, coarse
+	// per-shard demand summaries reweight the worker ring so starved
+	// shards attract capacity. Zero picks the default (1s); negative
+	// disables rebalancing. Meaningless with Shards <= 1.
+	Rebalance time.Duration
+
 	// DataDir enables the durability journal: every scheduler state
-	// mutation is written ahead to a log under this directory, periodic
-	// snapshots bound replay, and NewServer recovers the complete
-	// pre-crash state from it. Empty runs the server purely in memory.
+	// mutation is written ahead to a per-shard log under this directory,
+	// periodic snapshots bound replay, and NewServer recovers the
+	// complete pre-crash state from it. Empty runs the server purely in
+	// memory.
 	DataDir string
 	// Fsync selects the journal's durability mode (zero value: batch —
 	// group-committed fsync). Ignored without DataDir.
@@ -75,8 +104,9 @@ type Config struct {
 
 	// Log, when non-nil, is a pre-opened record log the server journals
 	// through instead of opening one from DataDir — the replication layer
-	// hands the leader's quorum-ack Replica in here. Requires Recovered;
-	// the server takes ownership and closes the log in Close.
+	// hands the leader's quorum-ack Replica in here. Requires Recovered
+	// and a single shard; the server takes ownership and closes the log
+	// in Close.
 	Log Log
 	// Recovered is the recovered state backing Log.
 	Recovered *journal.Recovered
@@ -101,147 +131,123 @@ func (c Config) withDefaults() Config {
 	if c.RetryMs <= 0 {
 		c.RetryMs = 100
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Rebalance == 0 {
+		c.Rebalance = time.Second
+	}
 	return c
 }
 
-// workerState tracks one registered worker.
-type workerState struct {
-	id         string
-	m          *grid.Machine
-	power      float64
-	lastSeen   float64 // server-clock seconds of the last fetch/report/heartbeat
-	lastLogged float64 // lastSeen value most recently journaled (coarsened)
-}
-
 // Server is the live work-dispatch service. It implements http.Handler.
-// All scheduler state is guarded by mu; every request holds it for exactly
-// one short critical section (the decision-latency metric measures it).
+// It owns no scheduler state itself: every request is routed to one of
+// the shards, whose own mutex guards the single short critical section.
+// Routing state (the ring, the worker pins) is lock-free.
 type Server struct {
 	cfg   Config
 	clock core.Clock
 	mux   *http.ServeMux
 
-	decLat *LatencyRecorder
-
-	mu sync.Mutex
-	//botlint:guarded-by mu
-	g *grid.Grid
-	//botlint:guarded-by mu
-	sched *core.Scheduler
-	//botlint:guarded-by mu
-	workers map[string]*workerState
-	//botlint:guarded-by mu
-	bags map[int]*core.Bag // live bags by ID; bags finished pre-recovery are only in doneBags
-	//botlint:guarded-by mu
-	bagIDs []int // submission order, completed included
-	//botlint:guarded-by mu
-	doneBags map[int]BagStatus // frozen snapshots; a completed bag never changes
-	//botlint:guarded-by mu
-	met counters
-
-	// Journal state (all nil/zero when the server runs in memory). jnl is
-	// the plain journal with DataDir, or the replication layer's quorum log
-	// with Config.Log.
-	jnl Log
-	//botlint:guarded-by mu
-	lastLSN uint64 // LSN of the newest record covering current state
-	//botlint:guarded-by mu
-	completed []journal.CompletedBag // durable record of finished bags
-	recov     *RecoveryInfo
-	seenQuant float64 // min seconds between journaled WorkerSeen per worker
+	shards []*shard
+	// ring maps worker IDs to shards; the rebalancer swaps in reweighted
+	// rings atomically.
+	ring atomic.Pointer[ring.Ring]
+	// pins remembers which shard each worker is currently registered on.
+	// A worker whose ring target drifts from its pin (rebalancing) is
+	// handed off at its next idle fetch; until then requests follow the
+	// pin so in-flight replicas complete where they started.
+	pins sync.Map // worker id -> int
+	// slots counts live worker registrations against cfg.MaxWorkers.
+	slots      atomic.Int64
+	nextSubmit atomic.Uint64
+	rebalances atomic.Int64
+	moves      atomic.Int64
 
 	stopOnce  sync.Once
 	finalOnce sync.Once
+	finalErr  error
 	stop      chan struct{}
 	done      chan struct{}
+	rebalDone chan struct{}
 	snapDone  chan struct{}
 }
 
 // NewServer builds a server and, when cfg.Lease > 0, starts the lease
 // sweeper goroutine. With cfg.DataDir set it first recovers all state from
-// the journal found there (or initializes a fresh one) and starts the
-// snapshot loop. Call Close to stop the background work — and, when
-// journaling, to write the final snapshot.
+// the per-shard journals found there (or initializes fresh ones and the
+// layout manifest) and starts the snapshot loops. Call Close to stop the
+// background work — and, when journaling, to write the final snapshots.
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	n := cfg.Shards
+	if cfg.Log != nil && n > 1 {
+		return nil, errors.New("serve: replication (Config.Log) requires a single shard")
+	}
 
-	var (
-		jnl Log
-		rec *journal.Recovered
-	)
+	logs := make([]Log, n)
+	recs := make([]*journal.Recovered, n)
 	switch {
 	case cfg.Log != nil:
 		if cfg.Recovered == nil {
 			return nil, errors.New("serve: Config.Log requires Config.Recovered")
 		}
-		jnl, rec = cfg.Log, cfg.Recovered
+		logs[0], recs[0] = cfg.Log, cfg.Recovered
 	case cfg.DataDir != "":
-		j, r, err := journal.Open(journal.Options{
-			Dir:          cfg.DataDir,
-			Fsync:        cfg.Fsync,
-			SnapshotMTBF: cfg.SnapshotMTBF,
-		})
-		if err != nil {
+		var err error
+		if logs, recs, err = openShardLogs(cfg, n); err != nil {
 			return nil, err
 		}
-		jnl, rec = j, r
 	}
+	journaled := logs[0] != nil
 
 	clock := cfg.Clock
 	if clock == nil {
-		if rec != nil {
-			clock = core.NewWallClockAt(recoveredOrigin(rec))
+		if journaled {
+			epoch := recs[0].Epoch
+			maxTime := 0.0
+			for _, rec := range recs {
+				if rec.State != nil && rec.State.MaxTime > maxTime {
+					maxTime = rec.State.MaxTime
+				}
+			}
+			clock = core.NewWallClockAt(recoveredOrigin(epoch, maxTime))
 		} else {
 			clock = core.NewWallClock()
 		}
 	}
-	powers := make([]float64, cfg.MaxWorkers)
-	for i := range powers {
-		powers[i] = cfg.WorkerPower
-	}
-	g := grid.NewCustom(grid.DefaultConfig(grid.Hom, grid.AlwaysUp), powers)
-	now := clock.Now()
-	for _, m := range g.Machines {
-		m.ForceFail(now) // slots join the grid when their worker registers
-	}
-	pol := core.NewPolicy(cfg.Policy, rng.Root(cfg.Seed, "policy"))
+
 	s := &Server{
-		cfg:      cfg,
-		clock:    clock,
-		mux:      http.NewServeMux(),
-		decLat:   NewLatencyRecorder(0),
-		g:        g,
-		workers:  make(map[string]*workerState),
-		bags:     make(map[int]*core.Bag),
-		doneBags: make(map[int]BagStatus),
-		jnl:      jnl,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		snapDone: make(chan struct{}),
+		cfg:       cfg,
+		clock:     clock,
+		mux:       http.NewServeMux(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		rebalDone: make(chan struct{}),
+		snapDone:  make(chan struct{}),
 	}
-	if jnl != nil {
-		// Coarsen journaled lease renewals to an eighth of the lease: fine
-		// enough that recovered expiry deadlines are within tolerance,
-		// coarse enough that heartbeats don't dominate the log.
-		s.seenQuant = s.cfg.Lease.Seconds() / 8
-		if s.seenQuant <= 0 {
-			s.seenQuant = 1
+	s.ring.Store(ring.NewRing(n, nil))
+	for i := 0; i < n; i++ {
+		sh, err := s.newShard(i, n, logs[i], recs[i])
+		if err != nil {
+			for _, l := range logs {
+				if l != nil {
+					l.Close()
+				}
+			}
+			label := cfg.DataDir
+			if label == "" {
+				label = "replicated log"
+			}
+			return nil, fmt.Errorf("recovering %s (shard %d): %w", label, i, err)
 		}
-		label := cfg.DataDir
-		if label == "" {
-			label = "replicated log"
-		}
-		//botlint:ignore locks -- constructor: no goroutine can observe s before NewServer returns
-		if err := s.restore(rec, pol); err != nil {
-			err = errors.Join(err, jnl.Close())
-			return nil, fmt.Errorf("recovering %s: %w", label, err)
-		}
-		//botlint:ignore locks -- constructor: no goroutine can observe s before NewServer returns
-		s.sched.SetMutationSink(s.journalMutation)
-	} else {
-		//botlint:ignore locks -- constructor: no goroutine can observe s before NewServer returns
-		s.sched = core.NewLiveScheduler(clock, g, pol, cfg.Sched, cfg.Observer)
+		s.shards = append(s.shards, sh)
 	}
+	for _, sh := range s.shards {
+		s.slots.Add(int64(sh.workerCount()))
+	}
+	s.restorePins()
+
 	s.mux.HandleFunc("POST /v1/bags", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/bags/{id}", s.handleBag)
 	s.mux.HandleFunc("POST /v1/workers/{id}/fetch", s.handleFetch)
@@ -249,42 +255,269 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleHeartbeat)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	if jnl != nil && !rec.Fresh && cfg.Lease > 0 {
+
+	if journaled && cfg.Lease > 0 {
 		// Leases whose deadline passed while the daemon was down expire
 		// right now, before any worker traffic: the paper's machine
 		// failure, not a silent zombie replica.
-		s.recov.LeasesExpired = s.ExpireLeases()
+		for _, sh := range s.shards {
+			if sh.recov != nil && !sh.recov.Fresh {
+				sh.recov.LeasesExpired = sh.expireLeases()
+			}
+		}
 	}
 	if cfg.Lease > 0 {
 		go s.sweep()
 	} else {
 		close(s.done)
 	}
-	if jnl != nil {
+	if journaled {
+		var wg sync.WaitGroup
+		for _, sh := range s.shards {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				sh.jnl.SnapshotLoop(s.stop, sh.captureState)
+			}(sh)
+		}
 		go func() {
-			defer close(s.snapDone)
-			jnl.SnapshotLoop(s.stop, s.captureState)
+			wg.Wait()
+			close(s.snapDone)
 		}()
 	} else {
 		close(s.snapDone)
 	}
+	if s.rebalancing() {
+		go s.rebalanceLoop()
+	} else {
+		close(s.rebalDone)
+	}
 	return s, nil
+}
+
+// newShard builds shard i of n, recovering it from rec when journaled.
+// The constructor locks the shard's mutex while initializing guarded
+// state: no traffic can reach the shard yet, but the annotations on
+// restore and the mutation sink want the lock held.
+func (s *Server) newShard(i, n int, jnl Log, rec *journal.Recovered) (*shard, error) {
+	cfg := s.cfg
+	slots := cfg.MaxWorkers
+	if n > 1 {
+		// Give each shard headroom over its fair share: hash imbalance and
+		// rebalancing moves concentrate workers, and slots released by
+		// moved workers stay occupied until a reshard. The global
+		// MaxWorkers cap is enforced by the reserve callback regardless.
+		slots = cfg.MaxWorkers/n*2 + 64
+		if slots > cfg.MaxWorkers {
+			slots = cfg.MaxWorkers
+		}
+	}
+	powers := make([]float64, slots)
+	for j := range powers {
+		powers[j] = cfg.WorkerPower
+	}
+	g := grid.NewCustom(grid.DefaultConfig(grid.Hom, grid.AlwaysUp), powers)
+	now := s.clock.Now()
+	for _, m := range g.Machines {
+		m.ForceFail(now) // slots join the grid when their worker registers
+	}
+	polLabel := "policy"
+	if n > 1 {
+		polLabel = fmt.Sprintf("policy-%d", i)
+	}
+	pol := core.NewPolicy(cfg.Policy, rng.Root(cfg.Seed, polLabel))
+	sh := &shard{
+		idx:     i,
+		n:       n,
+		cfg:     cfg,
+		clock:   s.clock,
+		reserve: s.reserveSlot,
+		release: s.releaseSlot,
+		decLat:  NewLatencyRecorder(0),
+		jnl:     jnl,
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.g = g
+	sh.workers = make(map[string]*workerState)
+	sh.bags = make(map[int]*core.Bag)
+	sh.doneBags = make(map[int]BagStatus)
+	if jnl != nil {
+		// Coarsen journaled lease renewals to an eighth of the lease: fine
+		// enough that recovered expiry deadlines are within tolerance,
+		// coarse enough that heartbeats don't dominate the log.
+		sh.seenQuant = cfg.Lease.Seconds() / 8
+		if sh.seenQuant <= 0 {
+			sh.seenQuant = 1
+		}
+		if err := sh.restore(rec, pol); err != nil {
+			return nil, err
+		}
+		sh.sched.SetMutationSink(sh.journalMutation)
+	} else {
+		sh.sched = core.NewLiveScheduler(s.clock, g, pol, cfg.Sched, cfg.Observer)
+	}
+	return sh, nil
+}
+
+// reserveSlot claims one registration against the global MaxWorkers cap.
+func (s *Server) reserveSlot() bool {
+	for {
+		c := s.slots.Load()
+		if c >= int64(s.cfg.MaxWorkers) {
+			return false
+		}
+		if s.slots.CompareAndSwap(c, c+1) {
+			return true
+		}
+	}
+}
+
+// releaseSlot returns a registration (worker handed off between shards).
+func (s *Server) releaseSlot() { s.slots.Add(-1) }
+
+// restorePins rebuilds the worker→shard routing pins after recovery: a
+// worker registered on several shards (it was moved at some point) is
+// pinned to wherever it was seen last.
+func (s *Server) restorePins() {
+	type seen struct {
+		shard    int
+		lastSeen float64
+	}
+	best := make(map[string]seen)
+	for _, sh := range s.shards {
+		for id, last := range sh.pinnedWorkers() {
+			if b, ok := best[id]; !ok || last > b.lastSeen {
+				best[id] = seen{shard: sh.idx, lastSeen: last}
+			}
+		}
+	}
+	for id, b := range best {
+		s.pins.Store(id, b.shard)
+	}
+}
+
+// openShardLogs opens (or initializes) the per-shard journals under
+// cfg.DataDir, enforcing the layout manifest: a directory written under a
+// different shard count is refused and must be resharded first. A single
+// shard keeps its journal at the directory root — the exact pre-sharding
+// layout, so existing data directories keep working.
+func openShardLogs(cfg Config, n int) ([]Log, []*journal.Recovered, error) {
+	dir := cfg.DataDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	man, ok, err := journal.ReadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		// No manifest: a fresh directory, or one written before manifests
+		// existed (always single-shard, journal at the root).
+		if legacy := dirHasJournal(dir); legacy && n != 1 {
+			return nil, nil, fmt.Errorf(
+				"serve: %s is laid out for 1 shard but -shards is %d; reshard it first (botserved -reshard %d)",
+				dir, n, n)
+		}
+		if err := journal.WriteManifest(dir, journal.Manifest{Shards: n}); err != nil {
+			return nil, nil, err
+		}
+	} else if man.Shards != n {
+		return nil, nil, fmt.Errorf(
+			"serve: %s is laid out for %d shards but -shards is %d; restart with -shards %d or reshard it first (botserved -reshard %d)",
+			dir, man.Shards, n, man.Shards, n)
+	}
+	logs := make([]Log, n)
+	recs := make([]*journal.Recovered, n)
+	for i := 0; i < n; i++ {
+		sdir := dir
+		if n > 1 {
+			sdir = filepath.Join(dir, journal.ShardDirName(i))
+		}
+		j, rec, err := journal.Open(journal.Options{
+			Dir:          sdir,
+			Fsync:        cfg.Fsync,
+			SnapshotMTBF: cfg.SnapshotMTBF,
+		})
+		if err != nil {
+			for _, l := range logs {
+				if l != nil {
+					l.Close()
+				}
+			}
+			return nil, nil, err
+		}
+		logs[i], recs[i] = j, rec
+	}
+	return logs, recs, nil
+}
+
+// dirHasJournal reports whether dir contains a journal (its META epoch
+// file marks one).
+func dirHasJournal(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "META"))
+	return err == nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the background goroutines and, when journaling, writes a
-// final snapshot and closes the journal so the next start recovers with
-// zero replay. The HTTP handler stays usable for in-memory servers; a
+// Close stops the background goroutines and, when journaling, writes each
+// shard's final snapshot and closes its journal so the next start recovers
+// with zero replay. The HTTP handler stays usable for in-memory servers; a
 // journaled server must not serve requests after Close.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
+	<-s.rebalDone
 	<-s.snapDone
-	var err error
-	s.finalOnce.Do(func() { err = s.finalize() })
-	return err
+	s.finalOnce.Do(func() {
+		var errs []error
+		for _, sh := range s.shards {
+			if err := sh.finalize(); err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", sh.idx, err))
+			}
+		}
+		s.finalErr = errors.Join(errs...)
+	})
+	return s.finalErr
+}
+
+// Recovery returns the startup recovery summary — nil when the server
+// runs without a journal. With multiple shards it aggregates the
+// per-shard summaries (Fresh only when every shard was fresh).
+func (s *Server) Recovery() *RecoveryInfo {
+	if s.shards[0].recov == nil {
+		return nil
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].recov
+	}
+	agg := &RecoveryInfo{Fresh: true}
+	for _, sh := range s.shards {
+		r := sh.recov
+		if r == nil {
+			continue
+		}
+		agg.Fresh = agg.Fresh && r.Fresh
+		agg.RecordsReplayed += r.RecordsReplayed
+		agg.SegmentsScanned += r.SegmentsScanned
+		agg.TornBytes += r.TornBytes
+		agg.SnapshotsSkipped += r.SnapshotsSkipped
+		agg.DurationSec += r.DurationSec
+		agg.Bags += r.Bags
+		agg.CompletedBags += r.CompletedBags
+		agg.Workers += r.Workers
+		agg.Replicas += r.Replicas
+		agg.LeasesExpired += r.LeasesExpired
+		if r.SnapshotLSN > agg.SnapshotLSN {
+			agg.SnapshotLSN = r.SnapshotLSN
+		}
+		if r.LastLSN > agg.LastLSN {
+			agg.LastLSN = r.LastLSN
+		}
+	}
+	return agg
 }
 
 // sweep expires leases every quarter lease.
@@ -309,51 +542,37 @@ func (s *Server) sweep() {
 // ExpireLeases declares every worker silent for longer than the lease
 // failed — replica killed, task resubmitted, slot removed from the free
 // pool — and returns how many expired. The sweeper calls it periodically;
-// tests call it directly for determinism.
+// tests call it directly for determinism. Shards are swept one at a time:
+// no lock is ever held across shards.
 func (s *Server) ExpireLeases() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clock.Now()
-	lease := s.cfg.Lease.Seconds()
 	n := 0
-	for _, w := range s.workers {
-		if w.m.Up() && now-w.lastSeen > lease {
-			w.m.ForceFail(now)
-			s.sched.MachineFailed(w.m)
-			s.met.LeaseExpiries++
-			n++
-		}
+	for _, sh := range s.shards {
+		n += sh.expireLeases()
 	}
 	return n
 }
 
-// worker returns the registered worker, creating it on first contact while
-// slots remain. Must be called with mu held.
-//
-//botlint:holds mu
-func (s *Server) worker(id string) (*workerState, error) {
-	if w, ok := s.workers[id]; ok {
-		return w, nil
+// routeWorker picks the shard serving worker id: the pinned shard while
+// one exists, else the ring target. On a fetch (allowMove) a worker whose
+// ring target drifted from its pin is handed off — but only when it holds
+// no replica on the old shard, so in-flight work always completes where
+// it started (the lease protocol needs no cross-shard state).
+func (s *Server) routeWorker(id string, allowMove bool) *shard {
+	target := s.ring.Load().Lookup(id)
+	v, ok := s.pins.Load(id)
+	if !ok {
+		return s.shards[target]
 	}
-	slot := len(s.workers)
-	if slot >= len(s.g.Machines) {
-		return nil, fmt.Errorf("worker capacity %d exhausted", len(s.g.Machines))
+	cur := v.(int)
+	if cur == target || !allowMove {
+		return s.shards[cur]
 	}
-	w := &workerState{id: id, m: s.g.Machines[slot], power: s.cfg.WorkerPower}
-	s.workers[id] = w
-	s.journalWorker(w)
-	return w, nil
-}
-
-// revive brings an absent worker's slot back into the grid. Must be called
-// with mu held.
-//
-//botlint:holds mu
-func (s *Server) revive(w *workerState) {
-	if !w.m.Up() {
-		w.m.ForceRepair(s.clock.Now())
-		s.sched.MachineRepaired(w.m)
+	if s.shards[cur].releaseIfIdle(id) {
+		s.pins.Store(id, target)
+		s.moves.Add(1)
+		return s.shards[target]
 	}
+	return s.shards[cur]
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -372,79 +591,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Bags stripe round-robin: submission k lands on shard k mod n, which
+	// issues local ID k div n — dense global IDs, deterministic placement.
+	sh := s.shards[int(s.nextSubmit.Add(1)-1)%len(s.shards)]
 	start := time.Now()
-	s.mu.Lock()
-	b := s.sched.Submit(req.Granularity, req.Works)
-	s.bags[b.ID] = b
-	s.bagIDs = append(s.bagIDs, b.ID)
-	s.met.Submits++
-	wait := s.lastLSN
-	s.mu.Unlock()
-	s.decLat.Observe(time.Since(start))
+	resp, wait := sh.submit(req.Granularity, req.Works)
+	sh.decLat.Observe(time.Since(start))
 	// An accepted submission must survive a crash: block until the journal
 	// record is on disk (a no-op without journaling or with fsync=off).
-	if err := s.waitDurable(wait); err != nil {
+	if err := sh.waitDurable(wait); err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, SubmitResponse{Bag: b.ID, Tasks: len(b.Tasks)})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBag(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
+	if err != nil || id < 0 {
 		httpError(w, http.StatusBadRequest, "bad bag id")
 		return
 	}
-	s.mu.Lock()
-	st, ok := s.bagStatusByID(id)
-	s.mu.Unlock()
+	shIdx, local := ring.SplitBag(id, len(s.shards))
+	st, ok := s.shards[shIdx].bagStatusLocal(local)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown bag")
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
-}
-
-// bagStatusByID returns the bag's status, serving completed bags from the
-// frozen-snapshot cache (a completed bag never changes, so its snapshot is
-// computed at most once; bags finished before a recovery only exist
-// there). Must be called with mu held.
-//
-//botlint:holds mu
-func (s *Server) bagStatusByID(id int) (BagStatus, bool) {
-	if bs, ok := s.doneBags[id]; ok {
-		return bs, true
-	}
-	b, ok := s.bags[id]
-	if !ok {
-		return BagStatus{}, false
-	}
-	bs := bagStatus(b)
-	if bs.Completed {
-		s.doneBags[id] = bs
-	}
-	return bs, true
-}
-
-// bagStatus snapshots b. Must be called with mu held.
-//
-//botlint:holds mu
-func bagStatus(b *core.Bag) BagStatus {
-	st := BagStatus{
-		Bag:         b.ID,
-		Granularity: b.Granularity,
-		Tasks:       len(b.Tasks),
-		Done:        b.DoneTasks(),
-		Completed:   b.Complete(),
-		Arrival:     b.Arrival,
-		DoneAt:      b.DoneAt,
-		Turnaround:  -1,
-	}
-	if st.Completed {
-		st.Turnaround = b.DoneAt - b.Arrival
-	}
-	return st
 }
 
 func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
@@ -453,37 +627,18 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	id := r.PathValue("id")
+	sh := s.routeWorker(id, true)
 	start := time.Now()
-	s.mu.Lock()
-	ws, err := s.worker(r.PathValue("id"))
+	resp, err := sh.fetch(id, req.Power)
+	sh.decLat.Observe(time.Since(start))
 	if err != nil {
-		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	if req.Power > 0 && req.Power != ws.power {
-		ws.power = req.Power
-		s.journalWorker(ws)
+	if v, ok := s.pins.Load(id); !ok || v.(int) != sh.idx {
+		s.pins.Store(id, sh.idx)
 	}
-	s.touch(ws)
-	s.revive(ws)
-	rep := s.sched.ReplicaOn(ws.m)
-	var resp FetchResponse
-	if rep != nil {
-		resp = FetchResponse{Assigned: true, Assignment: &Assignment{
-			Replica: rep.Seq,
-			Bag:     rep.Task.Bag.ID,
-			Task:    rep.Task.ID,
-			Work:    rep.Task.Work,
-		}}
-		s.met.Assigned++
-	} else {
-		resp = FetchResponse{RetryMs: s.cfg.RetryMs}
-		s.met.NoWork++
-	}
-	s.met.Fetches++
-	s.mu.Unlock()
-	s.decLat.Observe(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -497,45 +652,19 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "status must be done or failed")
 		return
 	}
+	id := r.PathValue("id")
+	sh := s.routeWorker(id, false)
 	start := time.Now()
-	s.mu.Lock()
-	ws, ok := s.workers[r.PathValue("id")]
-	if !ok {
-		s.mu.Unlock()
+	ack, wait, found := sh.report(id, req)
+	sh.decLat.Observe(time.Since(start))
+	if !found {
 		httpError(w, http.StatusNotFound, "unknown worker")
 		return
 	}
-	now := s.touch(ws)
-	ack := AckStale
-	if !ws.m.Up() {
-		// The lease expired mid-computation: the replica is already
-		// dead and the task resubmitted. Rejoin the pool empty-handed.
-		s.revive(ws)
-	} else if rep := s.sched.ReplicaOn(ws.m); rep != nil && rep.Seq == req.Replica {
-		ack = AckOK
-		switch req.Status {
-		case StatusDone:
-			s.sched.CompleteReplica(rep)
-			s.met.ReportsDone++
-		case StatusFailed:
-			// A worker-reported failure gets the paper's machine-failure
-			// treatment (kill + resubmit), then the slot rejoins the pool.
-			ws.m.ForceFail(now)
-			s.sched.MachineFailed(ws.m)
-			s.revive(ws)
-			s.met.ReportsFailed++
-		}
-	}
-	if ack == AckStale {
-		s.met.StaleReports++
-	}
-	wait := s.lastLSN
-	s.mu.Unlock()
-	s.decLat.Observe(time.Since(start))
 	if ack == AckOK {
 		// An acked result must survive a crash — the worker will discard
 		// its copy on AckOK. Stale reports changed nothing; don't wait.
-		if err := s.waitDurable(wait); err != nil {
+		if err := sh.waitDurable(wait); err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -549,84 +678,88 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	ws, ok := s.workers[r.PathValue("id")]
-	if !ok {
-		s.mu.Unlock()
+	id := r.PathValue("id")
+	sh := s.routeWorker(id, false)
+	ack, found := sh.heartbeat(id, req.Replica)
+	if !found {
 		httpError(w, http.StatusNotFound, "unknown worker")
 		return
 	}
-	s.touch(ws)
-	ack := AckStale
-	if ws.m.Up() {
-		if rep := s.sched.ReplicaOn(ws.m); rep != nil && rep.Seq == req.Replica {
-			ack = AckOK
-		}
-	}
-	s.met.Heartbeats++
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, HeartbeatResponse{Ack: ack})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	st := s.statsLocked()
-	s.mu.Unlock()
-	// decLat has its own lock; summarizing (copy + sort of the retained
-	// window) happens outside the scheduler's critical section.
-	st.DecisionLatency = s.decLat.Summary()
-	writeJSON(w, http.StatusOK, st)
-}
-
-// statsLocked snapshots the scheduler. Must be called with mu held; the
-// caller fills DecisionLatency after releasing mu.
-//
-//botlint:holds mu
-func (s *Server) statsLocked() StatsResponse {
-	live := 0
-	for _, ws := range s.workers {
-		if ws.m.Up() {
-			live++
-		}
+	// Snapshot shards one at a time — stats never stops the world. The
+	// merge (including the percentile sort) runs outside every lock.
+	partials := make([]shardPartial, len(s.shards))
+	for i, sh := range s.shards {
+		partials[i] = sh.partial(true)
 	}
 	st := StatsResponse{
-		Policy:          s.cfg.Policy.String(),
-		Now:             s.clock.Now(),
-		Workers:         len(s.workers),
-		LiveWorkers:     live,
-		FreeWorkers:     s.sched.FreeMachines(),
-		PendingTasks:    s.sched.PendingTasks(),
-		RunningReplicas: s.sched.RunningReplicas(),
-		BagsSubmitted:   s.sched.Submitted(),
-		BagsCompleted:   s.sched.Completed(),
-		TasksCompleted:  s.sched.TasksCompleted(),
-		ReplicasStarted: s.sched.ReplicasStarted(),
-		ReplicasKilled:  s.sched.ReplicasKilled(),
-		ReplicaFailures: s.sched.ReplicaFailures(),
-		LeaseExpiries:   s.met.LeaseExpiries,
-		StaleReports:    s.met.StaleReports,
+		Policy: s.cfg.Policy.String(),
+		Now:    s.clock.Now(),
 	}
-	st.Bags = make([]BagStatus, 0, len(s.bagIDs))
-	for _, id := range s.bagIDs {
-		if bs, ok := s.bagStatusByID(id); ok {
-			st.Bags = append(st.Bags, bs)
+	for _, p := range partials {
+		st.Workers += p.workers
+		st.LiveWorkers += p.live
+		st.FreeWorkers += p.free
+		st.PendingTasks += p.pending
+		st.RunningReplicas += p.running
+		st.BagsSubmitted += p.bagsSubmitted
+		st.BagsCompleted += p.bagsCompleted
+		st.TasksCompleted += p.tasksCompleted
+		st.ReplicasStarted += p.replicasStarted
+		st.ReplicasKilled += p.replicasKilled
+		st.ReplicaFailures += p.replicaFailures
+		st.LeaseExpiries += p.met.LeaseExpiries
+		st.StaleReports += p.met.StaleReports
+		st.Bags = append(st.Bags, p.bags...)
+	}
+	sortBagStatuses(st.Bags)
+	if len(s.shards) == 1 {
+		// Single shard: the legacy wire shape, byte-compatible with the
+		// pre-sharding server.
+		st.Journal = partials[0].journal
+		st.Recovery = s.shards[0].recov
+	} else {
+		st.ShardCount = len(s.shards)
+		st.Rebalances = int(s.rebalances.Load())
+		st.WorkerMoves = int(s.moves.Load())
+		weights := s.ring.Load().Weights()
+		for i, p := range partials {
+			st.ShardStats = append(st.ShardStats, ShardStatus{
+				Shard:           i,
+				Weight:          weights[i],
+				Workers:         p.workers,
+				LiveWorkers:     p.live,
+				FreeWorkers:     p.free,
+				PendingTasks:    p.pending,
+				RunningReplicas: p.running,
+				ActiveBags:      p.activeBags,
+				Journal:         p.journal,
+				Recovery:        s.shards[i].recov,
+			})
 		}
-	}
-	if s.jnl != nil {
-		m := s.jnl.Metrics()
-		st.Journal = &m
-		st.Recovery = s.recov
 	}
 	if s.cfg.Replication != nil {
 		rs := s.cfg.Replication.ReplicationStatus()
 		st.Replication = &rs
 	}
-	return st
+	st.DecisionLatency = s.decisionLatency()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// decisionLatency merges every shard's recorder into one summary.
+func (s *Server) decisionLatency() LatencySummary {
+	recs := make([]*LatencyRecorder, len(s.shards))
+	for i, sh := range s.shards {
+		recs[i] = sh.decLat
+	}
+	return MergeSummaries(recs...)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	doc := struct {
+	var doc struct {
 		Counters counters `json:"counters"`
 		Gauges   struct {
 			PendingTasks    int `json:"pending_tasks"`
@@ -634,27 +767,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			FreeWorkers     int `json:"free_workers"`
 			ActiveBags      int `json:"active_bags"`
 		} `json:"gauges"`
+		Shards          int               `json:"shards,omitempty"`
+		Rebalances      int               `json:"rebalances,omitempty"`
+		WorkerMoves     int               `json:"worker_moves,omitempty"`
 		Journal         *journal.Metrics  `json:"journal,omitempty"`
 		Recovery        *RecoveryInfo     `json:"recovery,omitempty"`
 		Replication     *replicate.Status `json:"replication,omitempty"`
 		DecisionLatency LatencySummary    `json:"decision_latency"`
-	}{Counters: s.met}
-	doc.Gauges.PendingTasks = s.sched.PendingTasks()
-	doc.Gauges.RunningReplicas = s.sched.RunningReplicas()
-	doc.Gauges.FreeWorkers = s.sched.FreeMachines()
-	doc.Gauges.ActiveBags = len(s.sched.Bags())
-	if s.jnl != nil {
-		m := s.jnl.Metrics()
-		doc.Journal = &m
-		doc.Recovery = s.recov
+	}
+	for _, sh := range s.shards {
+		p := sh.partial(false)
+		doc.Counters.add(p.met)
+		doc.Gauges.PendingTasks += p.pending
+		doc.Gauges.RunningReplicas += p.running
+		doc.Gauges.FreeWorkers += p.free
+		doc.Gauges.ActiveBags += p.activeBags
+		if len(s.shards) == 1 {
+			doc.Journal = p.journal
+			doc.Recovery = sh.recov
+		}
+	}
+	if len(s.shards) > 1 {
+		doc.Shards = len(s.shards)
+		doc.Rebalances = int(s.rebalances.Load())
+		doc.WorkerMoves = int(s.moves.Load())
 	}
 	if s.cfg.Replication != nil {
 		rs := s.cfg.Replication.ReplicationStatus()
 		doc.Replication = &rs
 	}
-	s.mu.Unlock()
-	doc.DecisionLatency = s.decLat.Summary()
+	doc.DecisionLatency = s.decisionLatency()
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// sortBagStatuses orders merged bag statuses by global ID (submission
+// order, matching the single-shard wire format).
+func sortBagStatuses(bags []BagStatus) {
+	for i := 1; i < len(bags); i++ {
+		for j := i; j > 0 && bags[j].Bag < bags[j-1].Bag; j-- {
+			bags[j], bags[j-1] = bags[j-1], bags[j]
+		}
+	}
 }
 
 // readJSON decodes a small JSON body; an empty body decodes to the zero

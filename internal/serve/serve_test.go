@@ -29,6 +29,16 @@ func (c *fakeClock) advance(d float64) {
 
 // newTestServer wires a server (fake clock, long wall lease so the
 // background sweeper never interferes) and a client over httptest.
+// checkInvariants runs the scheduler's internal consistency checks on
+// every shard, one shard lock at a time.
+func checkInvariants(s *Server) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.sched.CheckInvariants()
+		sh.mu.Unlock()
+	}
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *Client, *fakeClock) {
 	t.Helper()
 	clk := &fakeClock{}
@@ -122,9 +132,7 @@ func TestSubmitFetchReportFlow(t *testing.T) {
 		t.Fatal("no decision latency samples recorded")
 	}
 
-	s.mu.Lock()
-	s.sched.CheckInvariants()
-	s.mu.Unlock()
+	checkInvariants(s)
 }
 
 func TestWorkerCapacityExhausted(t *testing.T) {

@@ -1,0 +1,138 @@
+// Package shard maps dispatch-plane identities onto scheduler shards.
+// Workers are placed by consistent hashing of their IDs on a weighted
+// virtual-node ring (the replica-assignment scheme of distributed KV
+// stores), so the assignment is stable under weight changes: shifting a
+// shard's weight moves only the workers nearest its vnodes, not the whole
+// population. Bags are placed by striping their global IDs, which keeps
+// the global↔local translation pure arithmetic with no durable mapping
+// table.
+//
+// Everything here is deterministic: the same shard count and weights
+// always produce the same ring, and FNV-64a depends on nothing but the
+// bytes hashed. The serve layer's seeded golden test pins that property.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// BaseVnodes is a shard's ring weight under uniform load. The rebalancer
+// scales weights around this base; more vnodes = a larger share of the
+// worker population.
+const BaseVnodes = 16
+
+// MinVnodes and MaxVnodes clamp rebalanced weights so one starved shard
+// can neither vanish from the ring nor swallow it.
+const (
+	MinVnodes = BaseVnodes / 2
+	MaxVnodes = BaseVnodes * 2
+)
+
+// point is one virtual node on the ring.
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is an immutable weighted consistent-hash ring over n shards.
+// Lookups are lock-free; to change weights, build a new Ring and swap the
+// pointer.
+type Ring struct {
+	n       int
+	weights []int
+	points  []point // sorted by hash
+}
+
+// NewRing builds a ring over n shards. weights gives each shard's vnode
+// count; nil means uniform BaseVnodes. Zero or negative weights are
+// raised to 1 so every shard stays reachable.
+func NewRing(n int, weights []int) *Ring {
+	if n < 1 {
+		panic("shard: ring needs at least one shard")
+	}
+	w := make([]int, n)
+	for i := range w {
+		w[i] = BaseVnodes
+		if weights != nil && i < len(weights) {
+			w[i] = weights[i]
+		}
+		if w[i] < 1 {
+			w[i] = 1
+		}
+	}
+	r := &Ring{n: n, weights: w}
+	for s := 0; s < n; s++ {
+		for v := 0; v < w[s]; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(s, v), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between vnodes is astronomically unlikely;
+		// break it by shard index so the sort stays total and deterministic.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.n }
+
+// Weights returns a copy of the per-shard vnode counts.
+func (r *Ring) Weights() []int {
+	w := make([]int, len(r.weights))
+	copy(w, r.weights)
+	return w
+}
+
+// Lookup returns the shard owning id: the first vnode clockwise from the
+// id's hash.
+func (r *Ring) Lookup(id string) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := Hash(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Hash is the ring's key hash: FNV-64a over the raw bytes, pushed through
+// a 64-bit avalanche finalizer. Raw FNV of short, similar strings (worker
+// IDs, vnode labels) clusters badly in the high bits — sequential labels
+// land on nearly adjacent ring positions, which collapses a shard's vnodes
+// into one tiny arc. The finalizer (the murmur3 fmix64 constants) spreads
+// every input bit across the word, making ring positions effectively
+// uniform while staying fully deterministic.
+func Hash(id string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(id))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// vnodeHash places virtual node v of shard s on the ring.
+func vnodeHash(s, v int) uint64 {
+	return Hash(fmt.Sprintf("shard-%d/vnode-%d", s, v))
+}
+
+// GlobalBag converts a shard-local bag ID to the global ID clients see:
+// global IDs stripe across shards, so shard s issues s, s+n, s+2n, ...
+// With strict round-robin placement this yields the same dense sequential
+// IDs a single-shard server issues.
+func GlobalBag(local, shard, n int) int { return local*n + shard }
+
+// SplitBag converts a global bag ID to its owning shard and shard-local
+// ID. It is the inverse of GlobalBag.
+func SplitBag(global, n int) (shard, local int) { return global % n, global / n }

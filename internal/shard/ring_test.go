@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic pins that two rings built from the same inputs
+// agree on every lookup — the property the serve layer's recovery and
+// golden tests build on.
+func TestRingDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		a, b := NewRing(n, nil), NewRing(n, nil)
+		for i := 0; i < 1000; i++ {
+			id := fmt.Sprintf("worker-%d", i)
+			if a.Lookup(id) != b.Lookup(id) {
+				t.Fatalf("n=%d: lookup %q differs between identical rings", n, id)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks the uniform ring spreads a large population
+// roughly evenly: no shard under half or over double its fair share.
+func TestRingBalance(t *testing.T) {
+	const n, ids = 4, 20000
+	r := NewRing(n, nil)
+	counts := make([]int, n)
+	for i := 0; i < ids; i++ {
+		counts[r.Lookup(fmt.Sprintf("w%d", i))]++
+	}
+	fair := ids / n
+	for s, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("shard %d owns %d of %d ids (fair share %d): %v", s, c, ids, fair, counts)
+		}
+	}
+}
+
+// TestRingWeightsShiftLoad checks that raising one shard's weight moves
+// workers toward it without reshuffling the rest of the population: every
+// id either keeps its shard or moves to the upweighted one.
+func TestRingWeightsShiftLoad(t *testing.T) {
+	const n, ids = 4, 8000
+	uniform := NewRing(n, nil)
+	heavy := NewRing(n, []int{MaxVnodes, BaseVnodes, BaseVnodes, BaseVnodes})
+	moved, stayed := 0, 0
+	for i := 0; i < ids; i++ {
+		id := fmt.Sprintf("w%d", i)
+		from, to := uniform.Lookup(id), heavy.Lookup(id)
+		switch {
+		case from == to:
+			stayed++
+		case to == 0:
+			moved++
+		default:
+			t.Fatalf("id %q moved %d -> %d, but only shard 0 gained weight", id, from, to)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("doubling shard 0's weight moved no ids to it")
+	}
+	if moved > ids/2 {
+		t.Fatalf("doubling one shard's weight moved %d/%d ids — not consistent hashing", moved, ids)
+	}
+	t.Logf("weight 2x on shard 0: %d/%d ids moved, %d stayed", moved, ids, stayed)
+}
+
+// TestRingSingleShard pins the degenerate ring: everything maps to 0.
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, nil)
+	for i := 0; i < 100; i++ {
+		if got := r.Lookup(fmt.Sprintf("x%d", i)); got != 0 {
+			t.Fatalf("1-shard ring returned %d", got)
+		}
+	}
+}
+
+// TestBagStriping pins the global↔local bag ID arithmetic: round-trip
+// identity, round-robin placement yielding dense global IDs, and shard
+// ownership by global ID mod n.
+func TestBagStriping(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		for global := 0; global < 64; global++ {
+			s, local := SplitBag(global, n)
+			if s != global%n || local != global/n {
+				t.Fatalf("SplitBag(%d, %d) = (%d, %d)", global, n, s, local)
+			}
+			if back := GlobalBag(local, s, n); back != global {
+				t.Fatalf("GlobalBag(%d, %d, %d) = %d, want %d", local, s, n, back, global)
+			}
+		}
+		// Strict round-robin submission k -> shard k%n issues local k/n,
+		// so global IDs come out dense and sequential, like one shard.
+		for k := 0; k < 32; k++ {
+			if got := GlobalBag(k/n, k%n, n); got != k {
+				t.Fatalf("n=%d: round-robin submission %d got global %d", n, k, got)
+			}
+		}
+	}
+}
