@@ -7,23 +7,26 @@
 #   make lint    botlint, the in-tree analysis suite: determinism, lock
 #                discipline, hot-path hygiene and error strictness
 #                (see DESIGN.md "Static guarantees")
-#   make bench   dispatch-decision, DES event-loop and journal
-#                (append + recovery-replay) micro-benchmarks, recorded to
-#                BENCH_sched.json; fails if any dispatch-decision
-#                benchmark — including the fsync=off journaled twin —
+#   make bench   dispatch-decision, DES event-loop, journal
+#                (append + recovery-replay) and wire-codec
+#                micro-benchmarks, recorded to BENCH_sched.json; fails if
+#                any dispatch-decision or wire encode/decode benchmark —
+#                including the fsync=off journaled twin —
 #                reports a nonzero allocs/op. Then the whole-simulation
 #                replication suite (ladder engine vs the pre-ladder heap
 #                baseline, each engine in its own process so GC pacing
 #                starts equal, 3 runs per cell, medians) recorded as
 #                events/sec per configuration to BENCH_des.json
 #   make bench-serve  sustained dispatch throughput of the live sharded
-#                service: botload in-process at shards 1/2/4/8, 100k
-#                simulated worker identities multiplexed over 256 driver
-#                goroutines, recorded to BENCH_serve.json (dispatch/s,
-#                fetch p99, cpus). On a single-core host the trajectory
-#                shows lock-contention relief, not wall-clock speedup;
-#                the "cpus" metric records what parallelism the numbers
-#                were measured at (see DESIGN.md "Sharded dispatch")
+#                service: botload in-process at shards 1/2/4/8 over both
+#                transports (JSON/HTTP and the binary wire protocol),
+#                100k simulated worker identities multiplexed over 256
+#                driver goroutines, recorded side by side to
+#                BENCH_serve.json (dispatch/s, fetch p99, cpus). On a
+#                single-core host the trajectory shows lock-contention
+#                relief, not wall-clock speedup; the "cpus" metric
+#                records what parallelism the numbers were measured at
+#                (see DESIGN.md "Sharded dispatch" and "Wire protocol")
 #   make check   everything the CI gate runs
 
 GO ?= go
@@ -50,9 +53,10 @@ lint:
 bench:
 	@{ $(GO) test -bench BenchmarkDispatchDecision -benchmem -run '^$$' ./internal/core/ && \
 	   $(GO) test -bench 'BenchmarkEventLoop|BenchmarkScheduleCancel' -benchmem -run '^$$' ./internal/des/ && \
-	   $(GO) test -bench 'BenchmarkDispatchDecision|BenchmarkJournalAppend|BenchmarkRecoveryReplay' -benchmem -run '^$$' ./internal/journal/ ; } \
+	   $(GO) test -bench 'BenchmarkDispatchDecision|BenchmarkJournalAppend|BenchmarkRecoveryReplay' -benchmem -run '^$$' ./internal/journal/ && \
+	   $(GO) test -bench 'BenchmarkWireEncode|BenchmarkWireDecode' -benchmem -run '^$$' ./internal/wire/ ; } \
 	 | tee bench.out
-	$(GO) run ./cmd/benchjson -require-zero-allocs '^BenchmarkDispatchDecision' < bench.out > BENCH_sched.json
+	$(GO) run ./cmd/benchjson -require-zero-allocs '^(BenchmarkDispatchDecision|BenchmarkWireEncode|BenchmarkWireDecode)' < bench.out > BENCH_sched.json
 	@rm -f bench.out
 	@echo "wrote BENCH_sched.json"
 	@{ $(GO) test -bench '^BenchmarkReplication$$' -benchmem -benchtime 1x -count 3 -timeout 60m -run '^$$' ./internal/core/ && \
@@ -65,9 +69,11 @@ bench:
 bench-serve:
 	@rm -f benchserve.out
 	@for n in 1 2 4 8; do \
-	   $(GO) run ./cmd/botload -addr "" -policy FairShare -shards $$n \
-	     -workers 100000 -drivers 256 -bags 16 -tasks 500 -timescale 0 \
-	     -duration 10s -bench | tee -a benchserve.out ; \
+	   for t in "" "-wire"; do \
+	     $(GO) run ./cmd/botload -addr "" -policy FairShare -shards $$n $$t \
+	       -workers 100000 -drivers 256 -bags 16 -tasks 500 -timescale 0 \
+	       -duration 10s -bench | tee -a benchserve.out ; \
+	   done ; \
 	 done
 	$(GO) run ./cmd/benchjson < benchserve.out > BENCH_serve.json
 	@rm -f benchserve.out

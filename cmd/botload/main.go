@@ -41,6 +41,7 @@ import (
 	"botgrid/internal/core"
 	"botgrid/internal/rng"
 	"botgrid/internal/serve"
+	"botgrid/internal/wire"
 )
 
 type options struct {
@@ -63,6 +64,7 @@ type options struct {
 	duration  time.Duration
 	drivers   int
 	bench     bool
+	wire      bool
 }
 
 func main() {
@@ -87,6 +89,7 @@ func main() {
 	flag.DurationVar(&o.duration, "duration", 0, "sustained mode: measure steady-state throughput over this window instead of draining -bags")
 	flag.IntVar(&o.drivers, "drivers", 64, "sustained mode: goroutines multiplexing the -workers identities")
 	flag.BoolVar(&o.bench, "bench", false, "sustained mode: also print a go-bench-format result line for benchjson")
+	flag.BoolVar(&o.wire, "wire", false, "sustained mode: drive dispatch over the binary wire protocol (batched fetch/report) instead of HTTP")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -105,7 +108,11 @@ func run(ctx context.Context, o options, w io.Writer) error {
 		return hammer(ctx, o, w)
 	}
 
+	if o.wire && (o.addr != "" || o.duration <= 0) {
+		return errors.New("-wire requires sustained mode against the in-process server (-addr \"\" -duration > 0)")
+	}
 	addr := o.addr
+	wireAddr := ""
 	if addr == "" {
 		k, err := core.ParsePolicy(o.policy)
 		if err != nil {
@@ -132,11 +139,22 @@ func run(ctx context.Context, o options, w io.Writer) error {
 		go hs.Serve(ln)
 		defer hs.Close()
 		addr = ln.Addr().String()
+		if o.wire {
+			wln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			ws := wire.NewServer(srv.WireHandler())
+			go ws.Serve(wln)
+			//botlint:ignore errcheck -- best-effort teardown of the load generator's in-process listener on exit
+			defer ws.Close()
+			wireAddr = wln.Addr().String()
+		}
 		fmt.Fprintf(w, "in-process server: policy %s, %d shards, on %s\n", k, o.shards, addr)
 	}
 	c := serve.NewClient("http://" + addr)
 	if o.duration > 0 {
-		return sustain(ctx, o, w, c)
+		return sustain(ctx, o, w, c, wireAddr)
 	}
 
 	// Submit the workload: o.bags bags of o.tasks tasks with the paper's
@@ -207,7 +225,13 @@ func run(ctx context.Context, o options, w io.Writer) error {
 // goroutines: each driver walks its stride of the identity space issuing
 // fetch -> (scaled compute) -> report, which is exactly the paper's pull
 // cycle with the think time removed.
-func sustain(ctx context.Context, o options, w io.Writer, c *serve.Client) error {
+//
+// With wireAddr set (-wire), each driver holds one persistent binary
+// connection and walks its stride in batches: up to wireGroup fetches —
+// plus the previous group's reports — per round-trip, so the fetch-RTT
+// metric measures the batch round-trip a multiplexed worker actually
+// waits for. Submits and stats stay on HTTP either way.
+func sustain(ctx context.Context, o options, w io.Writer, c *serve.Client, wireAddr string) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -242,6 +266,13 @@ func sustain(ctx context.Context, o options, w io.Writer, c *serve.Client) error
 	var wg sync.WaitGroup
 	for d := 0; d < drivers; d++ {
 		wg.Add(1)
+		if wireAddr != "" {
+			go func(d int) {
+				defer wg.Done()
+				wireDriver(ctx, o, d, drivers, wireAddr, rtt, &dispatched)
+			}(d)
+			continue
+		}
 		go func(d int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
@@ -320,8 +351,12 @@ func sustain(ctx context.Context, o options, w io.Writer, c *serve.Client) error
 
 	rate := float64(d1-d0) / elapsed
 	sum := rtt.Summary()
-	fmt.Fprintf(w, "\nsustained %s window, %d workers over %d drivers, %d shards, policy %s\n",
-		o.duration, o.workers, drivers, o.shards, st1.Policy)
+	transport := "http"
+	if wireAddr != "" {
+		transport = "wire"
+	}
+	fmt.Fprintf(w, "\nsustained %s window, %d workers over %d drivers, %d shards, policy %s, transport %s\n",
+		o.duration, o.workers, drivers, o.shards, st1.Policy, transport)
 	fmt.Fprintf(w, "dispatch: %.0f/s sustained (%d assignments in window), completions %.0f/s\n",
 		rate, d1-d0, float64(st1.TasksCompleted-st0.TasksCompleted)/elapsed)
 	fmt.Fprintf(w, "fetch RTT (n=%d): p50 %s  p95 %s  p99 %s  max %s\n",
@@ -341,10 +376,81 @@ func sustain(ctx context.Context, o options, w io.Writer, c *serve.Client) error
 			iters = 1
 		}
 		fmt.Fprintf(w, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Fprintf(w, "BenchmarkServeSustained/policy=%s/shards=%d-%d \t%d\t%.0f ns/op\t%.1f dispatch/s\t%.4f fetch-p99-ms\t%d cpus\n",
-			st1.Policy, o.shards, runtime.GOMAXPROCS(0), iters, elapsed*1e9/float64(iters), rate, sum.P99*1e3, runtime.NumCPU())
+		fmt.Fprintf(w, "BenchmarkServeSustained/policy=%s/shards=%d/transport=%s-%d \t%d\t%.0f ns/op\t%.1f dispatch/s\t%.4f fetch-p99-ms\t%d cpus\n",
+			st1.Policy, o.shards, transport, runtime.GOMAXPROCS(0), iters, elapsed*1e9/float64(iters), rate, sum.P99*1e3, runtime.NumCPU())
 	}
 	return nil
+}
+
+// wireGroup is how many of a driver's worker identities share one batch
+// round-trip in -wire mode.
+const wireGroup = 64
+
+// wireDriver is one driver goroutine's loop over the binary transport:
+// walk the stride in groups, one batch per group carrying the previous
+// group's done-reports plus this group's fetches. A transport error
+// poisons the client (its assignments are re-fetched after redial —
+// fetch is idempotent, exactly the HTTP retry story).
+func wireDriver(ctx context.Context, o options, d, drivers int, wireAddr string,
+	rtt *serve.LatencyRecorder, dispatched *atomic.Int64) {
+	ids := make([]string, 0, (o.workers+drivers-1)/drivers)
+	for i := d; i < o.workers; i += drivers {
+		ids = append(ids, fmt.Sprintf("load-%06d", i))
+	}
+	var wc *wire.Client
+	defer func() {
+		if wc != nil {
+			//botlint:ignore errcheck -- driver teardown: the connection's fate no longer matters once the load window ends
+			wc.Close()
+		}
+	}()
+	repW := make([]string, 0, wireGroup) // workers awaiting a done-report
+	repR := make([]uint64, 0, wireGroup) // their replica tokens
+	for ctx.Err() == nil {
+		if wc == nil {
+			var err error
+			if wc, err = wire.Dial(wireAddr); err != nil {
+				if sleepCtx(ctx, 10*time.Millisecond) != nil {
+					return
+				}
+				continue
+			}
+			repW, repR = repW[:0], repR[:0]
+		}
+		for start := 0; start < len(ids) && ctx.Err() == nil; start += wireGroup {
+			group := ids[start:min(start+wireGroup, len(ids))]
+			b := wc.NewBatch()
+			for k := range repW {
+				b.Report(repW[k], repR[k], false)
+			}
+			nrep := len(repW)
+			for _, id := range group {
+				b.Fetch(id, o.power)
+			}
+			t0 := time.Now()
+			res, err := b.Do()
+			if err != nil {
+				//botlint:ignore errcheck -- the batch already failed; this close is cleanup before the redial
+				wc.Close()
+				wc = nil
+				break
+			}
+			rtt.Observe(time.Since(t0))
+			repW, repR = repW[:0], repR[:0]
+			for k, id := range group {
+				f := res[nrep+k].Fetch
+				if !f.Assigned {
+					continue
+				}
+				dispatched.Add(1)
+				if o.timeScale > 0 {
+					time.Sleep(time.Duration(f.Work / o.power * o.timeScale * float64(time.Second)))
+				}
+				repW = append(repW, id)
+				repR = append(repR, f.Replica)
+			}
+		}
+	}
 }
 
 // sleepCtx sleeps d or returns early with the context's error.

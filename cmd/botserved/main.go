@@ -16,6 +16,12 @@
 //	GET  /v1/stats                  scheduler snapshot
 //	GET  /metrics                   expvar-style counters
 //
+// With -wire-addr set, the binary wire protocol (internal/wire) is served
+// alongside HTTP on its own listener: persistent connections, batched
+// fetch/report, and durability acks coalesced onto the journal's group
+// commit. HTTP stays up as the compatibility front end; both transports
+// drive the same scheduler state.
+//
 // With -data-dir set, every scheduler mutation is journaled (write-ahead
 // log + periodic snapshots) and a restart — graceful or SIGKILL — recovers
 // the complete pre-crash state: bags, queued and running tasks, worker
@@ -59,25 +65,27 @@ import (
 	"botgrid/internal/journal"
 	"botgrid/internal/replicate"
 	"botgrid/internal/serve"
+	"botgrid/internal/wire"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8431", "listen address")
-		policy  = flag.String("policy", "FCFS-Share", "bag-selection policy")
-		workers = flag.Int("workers", 256, "maximum registered workers")
-		power   = flag.Float64("power", 10, "nominal worker computing power")
-		thresh  = flag.Int("threshold", 2, "WQR-FT replication threshold")
-		lease   = flag.Duration("lease", 30*time.Second, "worker lease (silence past it = machine failure)")
-		retry   = flag.Int("retryms", 100, "idle-poll retry hint, milliseconds")
-		seed    = flag.Uint64("seed", 42, "seed for the Random policy")
-		grace   = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
-		dataDir = flag.String("data-dir", "", "journal directory for crash recovery (empty: in-memory only)")
-		fsync   = flag.String("fsync", "batch", "journal durability: always, batch or off")
-		mtbf    = flag.Duration("snapshot-mtbf", 10*time.Minute, "expected crash interval driving the snapshot cadence")
-		shards  = flag.Int("shards", 1, "scheduler shards (independent lock + journal each)")
-		rebal   = flag.Duration("rebalance", time.Second, "cross-shard rebalance cadence for FairShare/LongIdle (negative: off)")
-		reshard = flag.Int("reshard", 0, "rewrite -data-dir's journal layout for this many shards, then exit")
+		addr     = flag.String("addr", "127.0.0.1:8431", "listen address")
+		policy   = flag.String("policy", "FCFS-Share", "bag-selection policy")
+		workers  = flag.Int("workers", 256, "maximum registered workers")
+		power    = flag.Float64("power", 10, "nominal worker computing power")
+		thresh   = flag.Int("threshold", 2, "WQR-FT replication threshold")
+		lease    = flag.Duration("lease", 30*time.Second, "worker lease (silence past it = machine failure)")
+		retry    = flag.Int("retryms", 100, "idle-poll retry hint, milliseconds")
+		seed     = flag.Uint64("seed", 42, "seed for the Random policy")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		dataDir  = flag.String("data-dir", "", "journal directory for crash recovery (empty: in-memory only)")
+		fsync    = flag.String("fsync", "batch", "journal durability: always, batch or off")
+		mtbf     = flag.Duration("snapshot-mtbf", 10*time.Minute, "expected crash interval driving the snapshot cadence")
+		shards   = flag.Int("shards", 1, "scheduler shards (independent lock + journal each)")
+		rebal    = flag.Duration("rebalance", time.Second, "cross-shard rebalance cadence for FairShare/LongIdle (negative: off)")
+		reshard  = flag.Int("reshard", 0, "rewrite -data-dir's journal layout for this many shards, then exit")
+		wireAddr = flag.String("wire-addr", "", "binary wire protocol listen address (empty: HTTP only)")
 
 		nodeID    = flag.String("node-id", "", "this node's ID in a replicated cluster (requires -peers)")
 		peers     = flag.String("peers", "", "cluster members as id=host:port,... (replication listeners); empty runs standalone")
@@ -121,6 +129,11 @@ func main() {
 	if *shards > 1 && *peers != "" {
 		log.Fatal("botserved: replication (-peers) requires -shards 1")
 	}
+	if *wireAddr != "" && *peers != "" {
+		// The binary protocol has no redirect story yet: followers steer
+		// workers to the leader over HTTP only.
+		log.Fatal("botserved: -wire-addr requires standalone mode (no -peers)")
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -161,7 +174,7 @@ func main() {
 		log.Printf("botserved: cluster node %s drained and stopped", *nodeID)
 		return
 	}
-	if err := run(ctx, ln, cfg, *grace); err != nil {
+	if err := run(ctx, ln, cfg, *wireAddr, *grace); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("botserved: drained and stopped")
@@ -200,7 +213,10 @@ func runCluster(ctx context.Context, ln net.Listener, cfg serve.Config, rcfg rep
 // closes, in-flight requests finish (up to grace), the lease sweeper
 // stops, and — when journaling — a final snapshot is written so the next
 // start recovers with zero log replay. It returns nil on a clean drain.
-func run(ctx context.Context, ln net.Listener, cfg serve.Config, grace time.Duration) error {
+// With wireAddr set, the binary wire protocol is served alongside HTTP;
+// its persistent connections are cut at drain (clients treat the drop
+// like any other — fetch is idempotent, unacked reports retry).
+func run(ctx context.Context, ln net.Listener, cfg serve.Config, wireAddr string, grace time.Duration) error {
 	s, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
@@ -223,13 +239,41 @@ func run(ctx context.Context, ln net.Listener, cfg serve.Config, grace time.Dura
 				rec.Workers, rec.Replicas, rec.LeasesExpired)
 		}
 	}
+	var wsrv *wire.Server
+	werrc := make(chan error, 1)
+	if wireAddr != "" {
+		wln, err := net.Listen("tcp", wireAddr)
+		if err != nil {
+			return err
+		}
+		wsrv = wire.NewServer(s.WireHandler())
+		log.Printf("botserved: wire protocol on %s", wln.Addr())
+		go func() { werrc <- wsrv.Serve(wln) }()
+	}
+	stopWire := func() error {
+		if wsrv == nil {
+			return nil
+		}
+		err := wsrv.Close()
+		if serr := <-werrc; !errors.Is(serr, wire.ErrServerClosed) {
+			err = errors.Join(err, serr)
+		}
+		wsrv = nil
+		return err
+	}
 	hs := &http.Server{Handler: s}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
-		return err
+		return errors.Join(err, stopWire())
+	case err := <-werrc:
+		hs.Close()
+		return errors.Join(err, wsrv.Close())
 	case <-ctx.Done():
+	}
+	if err := stopWire(); err != nil {
+		return err
 	}
 	shctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()

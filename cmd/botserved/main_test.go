@@ -28,7 +28,7 @@ func TestGracefulDrain(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- run(ctx, ln, serve.Config{Policy: core.FCFSShare, MaxWorkers: 4,
-			Lease: time.Minute}, 5*time.Second)
+			Lease: time.Minute}, "", 5*time.Second)
 	}()
 
 	// Wait for the server to accept requests.

@@ -111,6 +111,14 @@ func TestRules(t *testing.T) {
 			cfg:      func([]string) Config { return Config{} },
 		},
 		{
+			// The wire-codec shape: frame encoders must feed append back
+			// into the scratch buffer and decoders must fail with static
+			// errors (internal/wire's encode/decode surface).
+			name:     "hotpath",
+			fixtures: []string{"wirecodecpos", "wirecodecneg"},
+			cfg:      func([]string) Config { return Config{} },
+		},
+		{
 			name:     "errcheck",
 			fixtures: []string{"errcheckpos", "errcheckneg", "errstrict"},
 			cfg: func([]string) Config {

@@ -66,10 +66,11 @@ type Config struct {
 }
 
 // DefaultConfig returns the botgrid configuration: the simulation clock's
-// packages are deterministic; the journal's durability APIs and the
-// replication layer's log-transfer APIs are error-strict (a dropped send
-// or ack error can silently stall a quorum just as a dropped fsync error
-// can silently lose acknowledged data).
+// packages are deterministic; the journal's durability APIs, the
+// replication layer's log-transfer APIs and the binary wire transport are
+// error-strict (a dropped send or ack error can silently stall a quorum,
+// a dropped wire flush strands a client mid-batch, just as a dropped
+// fsync error can silently lose acknowledged data).
 func DefaultConfig(modPath string) Config {
 	return Config{
 		DeterministicPkgs: []string{
@@ -82,6 +83,7 @@ func DefaultConfig(modPath string) Config {
 		StrictErrorPkgs: []string{
 			modPath + "/internal/journal",
 			modPath + "/internal/replicate",
+			modPath + "/internal/wire",
 		},
 	}
 }

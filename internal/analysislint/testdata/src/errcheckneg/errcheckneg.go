@@ -28,3 +28,11 @@ func Stream() error {
 	}
 	return errstrict.AckDurable(7)
 }
+
+// Disconnect handles both wire-transport teardown errors.
+func Disconnect() error {
+	if err := errstrict.FlushFrames(); err != nil {
+		return err
+	}
+	return errstrict.CloseConn()
+}

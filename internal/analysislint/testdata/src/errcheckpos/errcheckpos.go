@@ -25,3 +25,12 @@ func Replicate() {
 	go errstrict.SendEntry(nil)   // want errcheck
 	defer errstrict.AckDurable(7) // want errcheck
 }
+
+// Disconnect drops wire-transport teardown errors: a swallowed flush
+// error loses the connection's final batch of acks, a swallowed close
+// error hides the failure that explains it.
+func Disconnect() {
+	errstrict.FlushFrames()       // want errcheck
+	_ = errstrict.CloseConn()     // want errcheck
+	defer errstrict.FlushFrames() // want errcheck
+}

@@ -16,6 +16,15 @@ func SendEntry(b []byte) error { _ = b; return nil }
 // AckDurable reports a durable LSN back to the leader ("Ack" fragment).
 func AckDurable(lsn uint64) error { _ = lsn; return nil }
 
+// FlushFrames drains buffered wire frames to the socket (the wire
+// transport's surface; "Flush" is a strict name fragment — an unflushed
+// batch response strands the client mid-round-trip).
+func FlushFrames() error { return nil }
+
+// CloseConn tears down a wire connection ("Close" fragment; a swallowed
+// close error leaks the descriptor silently).
+func CloseConn() error { return nil }
+
 // Lookup is not part of the durability surface (no strict name fragment);
 // its error may be discarded without a finding.
 func Lookup() error { return nil }

@@ -1,0 +1,59 @@
+// Package wirecodecneg is the clean-negative fixture for the hot-path
+// hygiene rule on a wire-codec surface: the same codec shapes written the
+// way internal/wire actually writes them — appends fed back into the
+// scratch buffer, static error values, pointer-shaped cursor handoff.
+package wirecodecneg
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errShort = errors.New("wirecodecneg: short payload")
+
+// reader is the decode cursor: methods advance it through the pointer,
+// so handing it across an interface stores the pointer word directly.
+type reader struct {
+	data []byte
+	off  int
+}
+
+// AppendFrame feeds every append back into dst: the connection's scratch
+// buffer capacity is reused frame after frame.
+//
+//botlint:hotpath
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return dst
+}
+
+// DecodeLen fails with a static error value: nothing formats, nothing
+// allocates on the malformed-frame path.
+//
+//botlint:hotpath
+func DecodeLen(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, errShort
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// Emit passes the pointer-shaped cursor through the any-typed sink: the
+// interface word holds the pointer, nothing boxes.
+//
+//botlint:hotpath
+func Emit(sink func(any), r *reader) {
+	sink(r)
+}
+
+// Drain pre-binds the per-frame callback instead of closing over loop
+// state, and cleans up explicitly instead of deferring.
+//
+//botlint:hotpath
+func Drain(frames [][]byte, visit func([]byte), put func()) {
+	for _, f := range frames {
+		visit(f)
+	}
+	put()
+}

@@ -1,0 +1,56 @@
+// Package wirecodecpos is the caught-positive fixture for the hot-path
+// hygiene rule on a wire-codec surface: each allocating shape the real
+// frame encoder/decoder (internal/wire) must avoid, written as
+// codec-shaped functions.
+package wirecodecpos
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendFrame frames a payload but returns append directly: the result
+// never feeds back into dst, so every frame builds an escaping slice
+// instead of reusing the connection's scratch buffer.
+//
+//botlint:hotpath
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...) // want hotpath
+}
+
+// DecodeLen formats its error: one malformed frame from a hostile peer
+// puts fmt's allocation machinery on the decode path.
+//
+//botlint:hotpath
+func DecodeLen(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, fmt.Errorf("short length prefix") // want hotpath
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// Emit hands the decoded length to an any-typed sink: the uint32 is a
+// non-pointer-shaped concrete value, so the conversion boxes.
+//
+//botlint:hotpath
+func Emit(sink func(any), p []byte) {
+	sink(binary.LittleEndian.Uint32(p)) // want hotpath
+}
+
+// Drain visits each frame through a closure capturing the loop variable:
+// one closure allocation per frame.
+//
+//botlint:hotpath
+func Drain(frames [][]byte, visit func(func() int)) {
+	for _, f := range frames {
+		visit(func() int { return len(f) }) // want hotpath
+	}
+}
+
+// Release defers the scratch-buffer return on the per-frame path.
+//
+//botlint:hotpath
+func Release(put func()) {
+	defer put() // want hotpath
+}

@@ -1,0 +1,37 @@
+package journal
+
+// ScanDir: offline, read-only iteration over a journal directory's WAL
+// records. Tooling and tests use it to compare record streams without
+// opening (and thereby mutating) the journal.
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// ScanDir walks every decodable record in dir's WAL segments in LSN
+// order, calling fn for each. The journal must not be open for writing.
+// A torn tail (crash mid-write) ends the scan silently, exactly like
+// recovery; a corrupt segment interior or an undecodable record is an
+// error. Records already folded into a snapshot and pruned are gone —
+// ScanDir sees only what recovery would replay.
+func ScanDir(dir string, fn func(lsn uint64, rec *Record) error) error {
+	firsts, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, first := range firsts {
+		path := filepath.Join(dir, segName(first))
+		_, err := scanSegment(path, func(lsn uint64, payload []byte) error {
+			rec, derr := DecodeRecord(payload)
+			if derr != nil {
+				return fmt.Errorf("journal: %s: record %d: %w", filepath.Base(path), lsn, derr)
+			}
+			return fn(lsn, &rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

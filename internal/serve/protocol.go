@@ -163,10 +163,10 @@ type StatsResponse struct {
 	// ShardCount, Rebalances, WorkerMoves and ShardStats describe the
 	// sharded dispatch plane; all absent on a single-shard server (whose
 	// wire shape is unchanged from the pre-sharding protocol).
-	ShardCount int           `json:"shard_count,omitempty"`
-	Rebalances int           `json:"rebalances,omitempty"`
-	WorkerMoves int          `json:"worker_moves,omitempty"`
-	ShardStats []ShardStatus `json:"shards,omitempty"`
+	ShardCount  int           `json:"shard_count,omitempty"`
+	Rebalances  int           `json:"rebalances,omitempty"`
+	WorkerMoves int           `json:"worker_moves,omitempty"`
+	ShardStats  []ShardStatus `json:"shards,omitempty"`
 	// Replication reports the cluster state (role, term, commit LSN,
 	// per-follower match) when the server runs replicated. A follower
 	// answers /v1/stats with only this field populated.

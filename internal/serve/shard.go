@@ -355,15 +355,15 @@ func (sh *shard) pinnedWorkers() map[string]float64 {
 // captured under that shard's lock alone and merged by the router outside
 // any lock.
 type shardPartial struct {
-	workers, live, free, pending, running    int
-	bagsSubmitted, bagsCompleted             int
-	tasksCompleted                           int
-	replicasStarted, replicasKilled          int
-	replicaFailures                          int
-	activeBags                               int
-	met                                      counters
-	bags                                     []BagStatus
-	journal                                  *journal.Metrics
+	workers, live, free, pending, running int
+	bagsSubmitted, bagsCompleted          int
+	tasksCompleted                        int
+	replicasStarted, replicasKilled       int
+	replicaFailures                       int
+	activeBags                            int
+	met                                   counters
+	bags                                  []BagStatus
+	journal                               *journal.Metrics
 }
 
 // partial snapshots the shard's stats. withBags controls whether the full

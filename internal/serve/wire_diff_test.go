@@ -1,0 +1,340 @@
+package serve
+
+// The differential transport test: one seeded worker trace replayed
+// through the JSON/HTTP front end and through the binary wire protocol,
+// each against a fresh journaled server. Both transports route through
+// the same shard methods, so the final scheduler summaries and the
+// per-shard journal record streams must match exactly — any divergence
+// means one transport mutated state the other didn't.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"botgrid/internal/core"
+	"botgrid/internal/journal"
+	"botgrid/internal/wire"
+)
+
+// traceOp is one step of the generated trace. Per round the trace
+// submits bags, fetches for every worker (batched on the wire
+// transport), heartbeats some, reports some — including deliberately
+// stale re-reports — then advances the clock.
+type traceReport struct {
+	worker  string
+	replica uint64
+	failed  bool
+}
+
+// transportDriver abstracts the two transports for the replay loop.
+type transportDriver interface {
+	submit(gran float64, works []float64) (int, error)
+	// fetchAll polls every worker in order; the wire driver packs them
+	// into one batch round-trip.
+	fetchAll(workers []string) ([]FetchResponse, error)
+	// reportAll applies reports in order; batched on the wire.
+	reportAll(reports []traceReport) ([]string, error)
+	heartbeat(worker string, replica uint64) (string, error)
+}
+
+type httpDriver struct{ c *Client }
+
+func (d httpDriver) submit(gran float64, works []float64) (int, error) {
+	return d.c.Submit(gran, works)
+}
+
+func (d httpDriver) fetchAll(workers []string) ([]FetchResponse, error) {
+	out := make([]FetchResponse, len(workers))
+	for i, w := range workers {
+		resp, err := d.c.Fetch(w, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+func (d httpDriver) reportAll(reports []traceReport) ([]string, error) {
+	out := make([]string, len(reports))
+	for i, r := range reports {
+		status := StatusDone
+		if r.failed {
+			status = StatusFailed
+		}
+		ack, err := d.c.Report(r.worker, r.replica, status)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ack
+	}
+	return out, nil
+}
+
+func (d httpDriver) heartbeat(worker string, replica uint64) (string, error) {
+	return d.c.Heartbeat(worker, replica)
+}
+
+type wireDriver struct{ c *wire.Client }
+
+func (d wireDriver) submit(gran float64, works []float64) (int, error) {
+	res, err := d.c.Submit(gran, works)
+	return res.Bag, err
+}
+
+func (d wireDriver) fetchAll(workers []string) ([]FetchResponse, error) {
+	b := d.c.NewBatch()
+	for _, w := range workers {
+		b.Fetch(w, 0)
+	}
+	res, err := b.Do()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FetchResponse, len(res))
+	for i, r := range res {
+		if r.Err != "" {
+			return nil, fmt.Errorf("batched fetch: %s", r.Err)
+		}
+		if r.Fetch.Assigned {
+			out[i] = FetchResponse{Assigned: true, Assignment: &Assignment{
+				Replica: r.Fetch.Replica,
+				Bag:     r.Fetch.Bag,
+				Task:    r.Fetch.Task,
+				Work:    r.Fetch.Work,
+			}}
+		} else {
+			out[i] = FetchResponse{RetryMs: r.Fetch.RetryMs}
+		}
+	}
+	return out, nil
+}
+
+func (d wireDriver) reportAll(reports []traceReport) ([]string, error) {
+	b := d.c.NewBatch()
+	for _, r := range reports {
+		b.Report(r.worker, r.replica, r.failed)
+	}
+	res, err := b.Do()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(res))
+	for i, r := range res {
+		out[i] = r.Ack.String()
+	}
+	return out, nil
+}
+
+func (d wireDriver) heartbeat(worker string, replica uint64) (string, error) {
+	ack, err := d.c.Heartbeat(worker, replica)
+	return ack.String(), err
+}
+
+// scanRecords drains every shard's journal to its durable tail and
+// returns the full per-shard record streams (before Close, whose final
+// snapshot prunes the WAL).
+func scanRecords(t *testing.T, s *Server, dir string) map[int][]journal.Record {
+	t.Helper()
+	streams := make(map[int][]journal.Record)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		lsn := sh.lastLSN
+		sh.mu.Unlock()
+		if err := sh.jnl.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+		sdir := dir
+		if len(s.shards) > 1 {
+			sdir = filepath.Join(dir, journal.ShardDirName(sh.idx))
+		}
+		var recs []journal.Record
+		if err := journal.ScanDir(sdir, func(_ uint64, rec *journal.Record) error {
+			recs = append(recs, *rec)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		streams[sh.idx] = recs
+	}
+	return streams
+}
+
+// normalizeStats strips the fields that legitimately differ between
+// transports (latency timings, journal fsync counters, recovery info);
+// everything else — counters, bag statuses, worker counts — must match.
+func normalizeStats(st StatsResponse) StatsResponse {
+	st.DecisionLatency = LatencySummary{}
+	st.Journal = nil
+	st.Recovery = nil
+	for i := range st.ShardStats {
+		st.ShardStats[i].Journal = nil
+		st.ShardStats[i].Recovery = nil
+	}
+	return st
+}
+
+// runTransportTrace replays the seeded trace over the given transport
+// against a fresh two-shard journaled server and returns the normalized
+// final stats and the journal record streams.
+func runTransportTrace(t *testing.T, useWire bool) (StatsResponse, map[int][]journal.Record) {
+	t.Helper()
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	s, err := NewServer(Config{
+		Policy:       core.FCFSShare,
+		MaxWorkers:   16,
+		Shards:       2,
+		Clock:        clk,
+		DataDir:      dir,
+		SnapshotMTBF: 1000 * time.Hour, // no mid-run snapshots
+		Lease:        -1,               // no background sweeper
+		Rebalance:    -1,               // no rebalancer
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var drv transportDriver
+	if useWire {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := wire.NewServer(s.WireHandler())
+		go ws.Serve(ln)
+		defer ws.Close()
+		wc, err := wire.Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wc.Close()
+		drv = wireDriver{wc}
+	} else {
+		ts := httptest.NewServer(s)
+		defer ts.Close()
+		drv = httpDriver{NewClient(ts.URL)}
+	}
+
+	// The seeded trace. Both transports replay the identical op sequence:
+	// same PRNG, same order, clock advanced only between rounds — so the
+	// scheduler sees the same requests at the same times.
+	rng := rand.New(rand.NewSource(12345))
+	workers := make([]string, 8)
+	for i := range workers {
+		workers[i] = fmt.Sprintf("w%02d", i)
+	}
+	running := make(map[string]uint64) // worker -> outstanding replica
+	var lastDone traceReport
+	for round := 0; round < 40; round++ {
+		if round%4 == 0 {
+			works := make([]float64, 3+rng.Intn(5))
+			for i := range works {
+				works[i] = 1 + float64(rng.Intn(100))
+			}
+			if _, err := drv.submit(100, works); err != nil {
+				t.Fatalf("round %d submit: %v", round, err)
+			}
+		}
+		resps, err := drv.fetchAll(workers)
+		if err != nil {
+			t.Fatalf("round %d fetch: %v", round, err)
+		}
+		for i, resp := range resps {
+			if resp.Assigned {
+				running[workers[i]] = resp.Assignment.Replica
+			}
+		}
+		// Some workers heartbeat mid-computation.
+		for _, w := range workers {
+			if rep, ok := running[w]; ok && rng.Intn(3) == 0 {
+				if _, err := drv.heartbeat(w, rep); err != nil {
+					t.Fatalf("round %d heartbeat: %v", round, err)
+				}
+			}
+		}
+		// Report roughly half the outstanding replicas; one in eight
+		// fails. Iterate workers in fixed order for determinism.
+		var reports []traceReport
+		for _, w := range workers {
+			rep, ok := running[w]
+			if !ok || rng.Intn(2) == 0 {
+				continue
+			}
+			r := traceReport{worker: w, replica: rep, failed: rng.Intn(8) == 0}
+			reports = append(reports, r)
+			delete(running, w)
+			if !r.failed {
+				lastDone = r
+			}
+		}
+		// Replay a finished replica's report: must ack stale on both
+		// transports without touching scheduler state.
+		if lastDone.worker != "" && rng.Intn(4) == 0 {
+			reports = append(reports, lastDone)
+		}
+		if len(reports) > 0 {
+			if _, err := drv.reportAll(reports); err != nil {
+				t.Fatalf("round %d report: %v", round, err)
+			}
+		}
+		clk.advance(1.5)
+	}
+
+	// Final stats come over HTTP on both runs: the compatibility front
+	// end reads whatever state the driving transport built.
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	st, err := NewClient(ts.URL).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return normalizeStats(st), scanRecords(t, s, dir)
+}
+
+// TestWireHTTPDifferential is the transport equivalence proof: identical
+// traffic through HTTP and through the binary wire protocol must produce
+// bit-identical scheduler summaries and journal record streams.
+func TestWireHTTPDifferential(t *testing.T) {
+	httpStats, httpRecs := runTransportTrace(t, false)
+	wireStats, wireRecs := runTransportTrace(t, true)
+
+	// Guard against a vacuous pass: the trace must have exercised real
+	// scheduling and journaling on every shard.
+	if httpStats.BagsSubmitted == 0 || httpStats.TasksCompleted == 0 || httpStats.StaleReports == 0 {
+		t.Fatalf("trace too thin: %+v", httpStats)
+	}
+	for shard, recs := range httpRecs {
+		if len(recs) == 0 {
+			t.Fatalf("shard %d journaled no records", shard)
+		}
+	}
+
+	if !reflect.DeepEqual(httpStats, wireStats) {
+		t.Errorf("final stats diverge:\nhttp: %+v\nwire: %+v", httpStats, wireStats)
+	}
+	if len(httpRecs) != len(wireRecs) {
+		t.Fatalf("shard count: http %d, wire %d", len(httpRecs), len(wireRecs))
+	}
+	for shard, hr := range httpRecs {
+		wr := wireRecs[shard]
+		if len(hr) != len(wr) {
+			t.Errorf("shard %d: http journaled %d records, wire %d", shard, len(hr), len(wr))
+			continue
+		}
+		for i := range hr {
+			if !reflect.DeepEqual(hr[i], wr[i]) {
+				t.Errorf("shard %d record %d diverges:\nhttp: %+v\nwire: %+v", shard, i, hr[i], wr[i])
+				break
+			}
+		}
+	}
+}

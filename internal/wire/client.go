@@ -1,0 +1,330 @@
+package wire
+
+// The client side: one persistent connection, single-shot operations
+// mirroring the HTTP client, and the Batch builder that packs any mix of
+// operations for any number of worker identities into one round-trip.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client speaks the binary dispatch protocol over one persistent TCP
+// connection. It is NOT safe for concurrent use: requests and responses
+// are strictly ordered on the connection, so each driver goroutine owns
+// its own Client (the intended fan-in is many workers multiplexed over
+// one client via Batch, not many goroutines over one connection).
+//
+// Any transport or protocol error poisons the client: every later call
+// returns the same error, and the caller re-dials. Application-level
+// failures (a stale replica, an invalid bag) are in-band and leave the
+// connection healthy.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	rbuf  []byte // frame read buffer
+	pbuf  []byte // request payload under construction
+	batch Batch  // reused by NewBatch
+	err   error  // sticky fatal error
+}
+
+// DialTimeout is the connect + handshake deadline for Dial.
+const DialTimeout = 10 * time.Second
+
+// Dial opens a connection to a wire server and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, connBufSize),
+		bw:   bufio.NewWriterSize(conn, connBufSize),
+	}
+	conn.SetDeadline(time.Now().Add(DialTimeout))
+	hello := make([]byte, 0, len(protoMagic)+1)
+	hello = append(hello, protoMagic...)
+	hello = append(hello, protoVersion)
+	if err := c.send(msgHello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	payload, err := c.recv(msgHelloResp)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if len(payload) != 1 || payload[0] != protoVersion {
+		conn.Close()
+		return nil, fmt.Errorf("wire: server speaks protocol version %v, want %d", payload, protoVersion)
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// Close tears the connection down. The client is unusable afterwards.
+func (c *Client) Close() error {
+	if c.err == nil {
+		c.err = errors.New("wire: client closed")
+	}
+	return c.conn.Close()
+}
+
+// Err returns the sticky fatal error, nil while the client is healthy.
+func (c *Client) Err() error { return c.err }
+
+// send writes one frame and flushes it.
+func (c *Client) send(typ byte, payload []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := writeFrame(c.bw, typ, payload); err != nil {
+		c.err = err
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.err = err
+		return err
+	}
+	return nil
+}
+
+// recv reads one frame and requires it to be of the given type. A
+// msgError frame becomes the server's error; both poison the client.
+func (c *Client) recv(want byte) ([]byte, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	typ, payload, buf, err := readFrame(c.br, c.rbuf)
+	c.rbuf = buf
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	if typ == msgError {
+		c.err = fmt.Errorf("wire: server error: %s", payload)
+		return nil, c.err
+	}
+	if typ != want {
+		c.err = fmt.Errorf("%w: response type %d, want %d", ErrBadFrame, typ, want)
+		return nil, c.err
+	}
+	return payload, nil
+}
+
+// roundTrip sends the staged payload as one frame and reads the paired
+// response.
+func (c *Client) roundTrip(req, resp byte) ([]byte, error) {
+	if err := c.send(req, c.pbuf); err != nil {
+		return nil, err
+	}
+	return c.recv(resp)
+}
+
+// Submit enters a bag and returns its global ID and task count.
+func (c *Client) Submit(granularity float64, works []float64) (SubmitResult, error) {
+	c.pbuf = appendSubmit(c.pbuf[:0], granularity, works)
+	payload, err := c.roundTrip(msgSubmit, msgSubmitResp)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	r := reader{data: payload}
+	res, msg, err := decodeSubmitResp(&r)
+	if err == nil {
+		err = r.done()
+	}
+	if err != nil {
+		c.err = err
+		return SubmitResult{}, err
+	}
+	if msg != nil {
+		return SubmitResult{}, fmt.Errorf("wire: submit: %s", msg)
+	}
+	return res, nil
+}
+
+// Fetch requests worker's current assignment, registering it on first
+// contact (power 0 keeps the server's default).
+func (c *Client) Fetch(worker string, power float64) (FetchResult, error) {
+	c.pbuf = appendFetch(c.pbuf[:0], worker, power)
+	payload, err := c.roundTrip(msgFetch, msgFetchResp)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	r := reader{data: payload}
+	res, msg, err := decodeFetchResp(&r)
+	if err == nil {
+		err = r.done()
+	}
+	if err != nil {
+		c.err = err
+		return FetchResult{}, err
+	}
+	if msg != nil {
+		return FetchResult{}, fmt.Errorf("wire: fetch: %s", msg)
+	}
+	return res, nil
+}
+
+// Report reports an assignment outcome; failed requests the paper's
+// machine-failure treatment (kill + resubmit). Reports renew the lease:
+// no separate heartbeat is needed around one.
+func (c *Client) Report(worker string, replica uint64, failed bool) (Ack, error) {
+	c.pbuf = appendReport(c.pbuf[:0], worker, replica, failed)
+	payload, err := c.roundTrip(msgReport, msgReportResp)
+	if err != nil {
+		return 0, err
+	}
+	return c.finishAck(payload)
+}
+
+// Heartbeat renews worker's lease mid-computation.
+func (c *Client) Heartbeat(worker string, replica uint64) (Ack, error) {
+	c.pbuf = appendHeartbeat(c.pbuf[:0], worker, replica)
+	payload, err := c.roundTrip(msgHeartbeat, msgHeartbeatResp)
+	if err != nil {
+		return 0, err
+	}
+	return c.finishAck(payload)
+}
+
+func (c *Client) finishAck(payload []byte) (Ack, error) {
+	r := reader{data: payload}
+	ack, err := decodeAckResp(&r)
+	if err == nil {
+		err = r.done()
+	}
+	if err != nil {
+		c.err = err
+		return 0, err
+	}
+	return ack, nil
+}
+
+// BatchResult is one sub-operation's outcome, in submission order. Which
+// fields are meaningful follows from the operation: Submit for Submit
+// ops, Fetch for Fetch ops, Ack for Report and Heartbeat ops. Err carries
+// an in-band failure (invalid bag, capacity exhausted) and leaves the
+// connection healthy.
+type BatchResult struct {
+	Submit SubmitResult
+	Fetch  FetchResult
+	Ack    Ack
+	Err    string
+}
+
+// Batch accumulates operations for one round-trip. Obtain one from
+// NewBatch, add operations, then Do. The zero Batch is not usable.
+type Batch struct {
+	c       *Client
+	ops     []byte // op code per sub-operation, in order
+	payload []byte // concatenated [op][op payload] encodings
+	results []BatchResult
+}
+
+// NewBatch returns the client's reusable batch builder, reset. Only one
+// batch per client may be in flight (the client is serial anyway).
+func (c *Client) NewBatch() *Batch {
+	b := &c.batch
+	b.c = c
+	b.ops = b.ops[:0]
+	b.payload = b.payload[:0]
+	return b
+}
+
+// Len reports how many operations the batch holds.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Submit adds a bag submission to the batch.
+func (b *Batch) Submit(granularity float64, works []float64) {
+	b.ops = append(b.ops, opSubmit)
+	b.payload = append(b.payload, opSubmit)
+	b.payload = appendSubmit(b.payload, granularity, works)
+}
+
+// Fetch adds a worker poll to the batch.
+func (b *Batch) Fetch(worker string, power float64) {
+	b.ops = append(b.ops, opFetch)
+	b.payload = append(b.payload, opFetch)
+	b.payload = appendFetch(b.payload, worker, power)
+}
+
+// Report adds an assignment outcome to the batch.
+func (b *Batch) Report(worker string, replica uint64, failed bool) {
+	b.ops = append(b.ops, opReport)
+	b.payload = append(b.payload, opReport)
+	b.payload = appendReport(b.payload, worker, replica, failed)
+}
+
+// Heartbeat adds a lease renewal to the batch.
+func (b *Batch) Heartbeat(worker string, replica uint64) {
+	b.ops = append(b.ops, opHeartbeat)
+	b.payload = append(b.payload, opHeartbeat)
+	b.payload = appendHeartbeat(b.payload, worker, replica)
+}
+
+// Do executes the batch in one round-trip and returns one result per
+// operation, in order. The returned slice is reused by the next Do on
+// this client. A transport error poisons the client; in-band failures
+// land in the individual results.
+func (b *Batch) Do() ([]BatchResult, error) {
+	c := b.c
+	c.pbuf = binary.AppendUvarint(c.pbuf[:0], uint64(len(b.ops)))
+	c.pbuf = append(c.pbuf, b.payload...)
+	if err := c.send(msgBatch, c.pbuf); err != nil {
+		return nil, err
+	}
+	payload, err := c.recv(msgBatchResp)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{data: payload}
+	if n := r.uint(); r.err != nil || n != len(b.ops) {
+		c.err = fmt.Errorf("%w: batch response count %d, want %d", ErrBadFrame, n, len(b.ops))
+		return nil, c.err
+	}
+	if cap(b.results) < len(b.ops) {
+		b.results = make([]BatchResult, len(b.ops))
+	}
+	results := b.results[:len(b.ops)]
+	for i, op := range b.ops {
+		results[i] = BatchResult{}
+		switch op {
+		case opSubmit:
+			res, msg, derr := decodeSubmitResp(&r)
+			if derr != nil {
+				c.err = derr
+				return nil, derr
+			}
+			results[i].Submit = res
+			results[i].Err = string(msg)
+		case opFetch:
+			res, msg, derr := decodeFetchResp(&r)
+			if derr != nil {
+				c.err = derr
+				return nil, derr
+			}
+			results[i].Fetch = res
+			results[i].Err = string(msg)
+		case opReport, opHeartbeat:
+			ack, derr := decodeAckResp(&r)
+			if derr != nil {
+				c.err = derr
+				return nil, derr
+			}
+			results[i].Ack = ack
+		}
+	}
+	if err := r.done(); err != nil {
+		c.err = err
+		return nil, err
+	}
+	return results, nil
+}

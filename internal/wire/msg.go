@@ -1,0 +1,413 @@
+package wire
+
+// Message payload encodings. Conventions follow the journal record codec:
+// uvarints for counts, IDs and sequence numbers, IEEE-754 little-endian
+// bits for works, a single status/ack byte leading every response. All
+// encoders append to a caller-owned buffer (dst = append(dst, ...)); all
+// decoders parse views that alias the connection's read buffer, so the
+// steady-state codec path allocates nothing.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Ack is a report/heartbeat acknowledgement. AckOK and AckStale mirror
+// the HTTP protocol's "ok" and "stale"; AckUnknown is the binary twin of
+// its 404 for an unregistered worker.
+type Ack uint8
+
+const (
+	AckOK Ack = iota
+	AckStale
+	AckUnknown
+
+	ackMax = AckUnknown
+)
+
+// String names the ack like the HTTP protocol does.
+func (a Ack) String() string {
+	switch a {
+	case AckOK:
+		return "ok"
+	case AckStale:
+		return "stale"
+	default:
+		return "unknown"
+	}
+}
+
+// Fetch response status codes.
+const (
+	fetchNoWork   byte = 0 // no assignment; retry-ms hint follows
+	fetchAssigned byte = 1 // assignment follows
+	fetchErr      byte = 2 // error string follows (capacity exhausted)
+)
+
+// Submit response status codes.
+const (
+	submitOK  byte = 0 // bag + tasks follow
+	submitErr byte = 1 // error string follows (invalid bag, journal down)
+)
+
+// Report status bytes on the wire.
+const (
+	statusDone   byte = 1
+	statusFailed byte = 2
+)
+
+// SubmitResult is a submit acknowledgement: the bag's global ID and its
+// task count.
+type SubmitResult struct {
+	Bag   int
+	Tasks int
+}
+
+// FetchResult is one worker poll's outcome: an assignment, or a retry
+// hint when the queue has nothing for this worker yet.
+type FetchResult struct {
+	Assigned bool
+	Replica  uint64
+	Bag      int
+	Task     int
+	Work     float64
+	RetryMs  int
+}
+
+// Static decode errors (the codec path is hot; no formatted context).
+var (
+	errTruncated = errors.New("wire: bad frame: truncated payload")
+	errTrailing  = errors.New("wire: bad frame: trailing bytes")
+	errRange     = errors.New("wire: bad frame: value out of range")
+	errBadFloat  = errors.New("wire: bad frame: non-finite float")
+)
+
+// reader is a cursor with a sticky error over a message payload, the
+// journal decoder's shape with static errors.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+//botlint:hotpath
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.err = errTruncated
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+//botlint:hotpath
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data)-r.off < 8 {
+		r.err = errTruncated
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+//botlint:hotpath
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// uint decodes a uvarint that must fit a non-negative int.
+//
+//botlint:hotpath
+func (r *reader) uint() int {
+	v := r.uvarint()
+	if r.err == nil && v > math.MaxInt32 {
+		r.err = errRange
+		return 0
+	}
+	return int(v)
+}
+
+// bytes decodes a uvarint-length-prefixed byte string of at most max
+// bytes. The view aliases the payload.
+//
+//botlint:hotpath
+func (r *reader) bytes(max int) []byte {
+	n := r.uint()
+	if r.err != nil {
+		return nil
+	}
+	if n > max || len(r.data)-r.off < n {
+		r.err = errRange
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// done finishes a standalone payload: any undecoded tail is corruption.
+//
+//botlint:hotpath
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return errTrailing
+	}
+	return nil
+}
+
+//botlint:hotpath
+func putF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+//botlint:hotpath
+func putBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	dst = append(dst, b...)
+	return dst
+}
+
+//botlint:hotpath
+func putString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	dst = append(dst, s...)
+	return dst
+}
+
+// --- Requests ---
+
+// appendSubmit encodes a submit payload: granularity, then the works
+// vector — the journal's KindBagSubmitted layout without the bag ID.
+//
+//botlint:hotpath
+func appendSubmit(dst []byte, granularity float64, works []float64) []byte {
+	dst = putF64(dst, granularity)
+	dst = binary.AppendUvarint(dst, uint64(len(works)))
+	for _, w := range works {
+		dst = putF64(dst, w)
+	}
+	return dst
+}
+
+// decodeSubmit parses a submit payload, appending the works onto dst
+// (reused across requests by the caller).
+//
+//botlint:hotpath
+func decodeSubmit(r *reader, dst []float64) (granularity float64, works []float64, err error) {
+	granularity = r.f64()
+	n := r.uint()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	// An empty works vector is valid on the wire (the dispatch plane
+	// rejects it in-band, matching the HTTP handler's 400).
+	if n > maxWorks || len(r.data)-r.off < 8*n {
+		return 0, nil, errRange
+	}
+	if !isFinite(granularity) {
+		return 0, nil, errBadFloat
+	}
+	works = dst
+	for i := 0; i < n; i++ {
+		w := r.f64()
+		if !isFinite(w) {
+			return 0, nil, errBadFloat
+		}
+		works = append(works, w)
+	}
+	return granularity, works, nil
+}
+
+// appendFetch encodes a fetch payload: worker ID, then the advertised
+// power (0 keeps the server default).
+//
+//botlint:hotpath
+func appendFetch(dst []byte, worker string, power float64) []byte {
+	dst = putString(dst, worker)
+	return putF64(dst, power)
+}
+
+//botlint:hotpath
+func decodeFetch(r *reader) (worker []byte, power float64, err error) {
+	worker = r.bytes(maxWorkerID)
+	power = r.f64()
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	if !isFinite(power) {
+		return nil, 0, errBadFloat
+	}
+	return worker, power, nil
+}
+
+// appendReport encodes a report payload: worker ID, replica token, status.
+//
+//botlint:hotpath
+func appendReport(dst []byte, worker string, replica uint64, failed bool) []byte {
+	dst = putString(dst, worker)
+	dst = binary.AppendUvarint(dst, replica)
+	st := statusDone
+	if failed {
+		st = statusFailed
+	}
+	dst = append(dst, st)
+	return dst
+}
+
+//botlint:hotpath
+func decodeReport(r *reader) (worker []byte, replica uint64, failed bool, err error) {
+	worker = r.bytes(maxWorkerID)
+	replica = r.uvarint()
+	st := r.u8()
+	if r.err != nil {
+		return nil, 0, false, r.err
+	}
+	if st != statusDone && st != statusFailed {
+		return nil, 0, false, errRange
+	}
+	return worker, replica, st == statusFailed, nil
+}
+
+// appendHeartbeat encodes a heartbeat payload: worker ID, replica token.
+//
+//botlint:hotpath
+func appendHeartbeat(dst []byte, worker string, replica uint64) []byte {
+	dst = putString(dst, worker)
+	return binary.AppendUvarint(dst, replica)
+}
+
+//botlint:hotpath
+func decodeHeartbeat(r *reader) (worker []byte, replica uint64, err error) {
+	worker = r.bytes(maxWorkerID)
+	replica = r.uvarint()
+	return worker, replica, r.err
+}
+
+// --- Responses ---
+
+// appendSubmitResp encodes a submit acknowledgement (or its error form
+// when msg is non-empty).
+//
+//botlint:hotpath
+func appendSubmitResp(dst []byte, res SubmitResult, msg string) []byte {
+	if msg != "" {
+		dst = append(dst, submitErr)
+		return putString(dst, msg)
+	}
+	dst = append(dst, submitOK)
+	dst = binary.AppendUvarint(dst, uint64(res.Bag))
+	return binary.AppendUvarint(dst, uint64(res.Tasks))
+}
+
+//botlint:hotpath
+func decodeSubmitResp(r *reader) (res SubmitResult, msg []byte, err error) {
+	switch code := r.u8(); code {
+	case submitOK:
+		res.Bag = r.uint()
+		res.Tasks = r.uint()
+		return res, nil, r.err
+	case submitErr:
+		msg = r.bytes(maxWorkerID)
+		return res, msg, r.err
+	default:
+		if r.err != nil {
+			return res, nil, r.err
+		}
+		return res, nil, errRange
+	}
+}
+
+// appendFetchResp encodes a fetch response: an assignment, a retry hint,
+// or an error.
+//
+//botlint:hotpath
+func appendFetchResp(dst []byte, res FetchResult, msg string) []byte {
+	if msg != "" {
+		dst = append(dst, fetchErr)
+		return putString(dst, msg)
+	}
+	if !res.Assigned {
+		dst = append(dst, fetchNoWork)
+		return binary.AppendUvarint(dst, uint64(res.RetryMs))
+	}
+	dst = append(dst, fetchAssigned)
+	dst = binary.AppendUvarint(dst, res.Replica)
+	dst = binary.AppendUvarint(dst, uint64(res.Bag))
+	dst = binary.AppendUvarint(dst, uint64(res.Task))
+	return putF64(dst, res.Work)
+}
+
+//botlint:hotpath
+func decodeFetchResp(r *reader) (res FetchResult, msg []byte, err error) {
+	switch code := r.u8(); code {
+	case fetchNoWork:
+		res.RetryMs = r.uint()
+		return res, nil, r.err
+	case fetchAssigned:
+		res.Assigned = true
+		res.Replica = r.uvarint()
+		res.Bag = r.uint()
+		res.Task = r.uint()
+		res.Work = r.f64()
+		if r.err != nil {
+			return res, nil, r.err
+		}
+		if !isFinite(res.Work) {
+			return res, nil, errBadFloat
+		}
+		return res, nil, nil
+	case fetchErr:
+		msg = r.bytes(maxWorkerID)
+		return res, msg, r.err
+	default:
+		if r.err != nil {
+			return res, nil, r.err
+		}
+		return res, nil, errRange
+	}
+}
+
+// appendAckResp encodes a report/heartbeat acknowledgement.
+//
+//botlint:hotpath
+func appendAckResp(dst []byte, ack Ack) []byte {
+	dst = append(dst, byte(ack))
+	return dst
+}
+
+//botlint:hotpath
+func decodeAckResp(r *reader) (Ack, error) {
+	a := r.u8()
+	if r.err != nil {
+		return 0, r.err
+	}
+	if Ack(a) > ackMax {
+		return 0, errRange
+	}
+	return Ack(a), nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
