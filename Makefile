@@ -4,9 +4,15 @@
 #   make test    run the full test suite
 #   make race    run the full suite under the race detector
 #   make vet     static checks
-#   make lint    botlint, the in-tree analysis suite: determinism, lock
-#                discipline, hot-path hygiene and error strictness
+#   make lint    botlint, the in-tree analysis suite, all eight rules:
+#                determinism, lock discipline, lock ordering, atomic
+#                access, hot-path hygiene, the compiler-backed escape
+#                gate, wire/JSON protocol parity and error strictness
 #                (see DESIGN.md "Static guarantees")
+#   make escape-gate  just the escape rule: go build -gcflags=-m over the
+#                module, failing on heap escapes in //botlint:hotpath
+#                functions (the CI lint job runs this even when the unit
+#                tests are skipped)
 #   make bench   dispatch-decision, DES event-loop, journal
 #                (append + recovery-replay) and wire-codec
 #                micro-benchmarks, recorded to BENCH_sched.json; fails if
@@ -31,7 +37,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-serve check clean
+.PHONY: all build test race vet lint escape-gate bench bench-serve check clean
 
 all: check
 
@@ -49,6 +55,9 @@ vet:
 
 lint:
 	$(GO) run ./cmd/botlint ./...
+
+escape-gate:
+	$(GO) run ./cmd/botlint -only escape ./...
 
 bench:
 	@{ $(GO) test -bench BenchmarkDispatchDecision -benchmem -run '^$$' ./internal/core/ && \

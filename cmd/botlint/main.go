@@ -1,7 +1,9 @@
 // Command botlint runs the repo's custom static-analysis suite (see
 // internal/analysislint) over every package of the module and reports
-// violations of the determinism, lock-discipline, hot-path and
-// error-strictness invariants as `file:line: [rule] message`.
+// violations of the determinism, lock-discipline, lock-ordering, atomic-
+// access, hot-path, compiler-verified escape, wire/JSON protocol-parity
+// and error-strictness invariants as `file:line: [rule] message`. Run with
+// -rules for the per-rule reference.
 //
 // Usage:
 //
@@ -9,9 +11,11 @@
 //
 // The package pattern argument is accepted for familiarity but the tool
 // always analyzes the whole module containing the working directory.
-// Applied suppressions (//botlint:ignore rule -- reason) are listed with
-// their reasons. Exit status: 0 clean, 1 unsuppressed findings, 2 the tree
-// failed to load or type-check.
+// -only restricts reporting and the exit status to a comma-separated rule
+// subset (`-only escape` is CI's standalone escape gate). Applied
+// suppressions (//botlint:ignore rule -- reason) are listed with their
+// reasons. Exit status: 0 clean, 1 unsuppressed findings, 2 the tree
+// failed to load or type-check (or the escape gate's compiler run failed).
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 func main() {
 	quiet := flag.Bool("q", false, "suppress the applied-suppressions listing")
 	rules := flag.Bool("rules", false, "print the rule reference and exit")
+	only := flag.String("only", "", "comma-separated rule subset to report and gate on")
 	flag.Parse()
 
 	if *rules {
@@ -36,13 +41,42 @@ func main() {
 		return
 	}
 
-	if err := run(*quiet); err != nil {
+	keep, err := ruleFilter(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "botlint:", err)
+		os.Exit(2)
+	}
+
+	if err := run(*quiet, keep); err != nil {
 		fmt.Fprintln(os.Stderr, "botlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(quiet bool) error {
+// ruleFilter parses -only into a keep-set (nil means every rule).
+func ruleFilter(only string) (map[string]bool, error) {
+	if only == "" {
+		return nil, nil
+	}
+	keep := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		known := false
+		for _, r := range analysislint.Rules {
+			if r.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("-only names unknown rule %q (see -rules)", name)
+		}
+		keep[name] = true
+	}
+	return keep, nil
+}
+
+func run(quiet bool, keep map[string]bool) error {
 	root, err := analysislint.FindModuleRoot(".")
 	if err != nil {
 		return err
@@ -51,7 +85,27 @@ func run(quiet bool) error {
 	if err != nil {
 		return err
 	}
-	res := analysislint.Run(m, analysislint.DefaultConfig(m.Path))
+	res, err := analysislint.RunAll(m, analysislint.DefaultConfig(m.Path))
+	if err != nil {
+		return err
+	}
+
+	findings := res.Findings
+	suppressed := res.Suppressed
+	if keep != nil {
+		findings = findings[:0:0]
+		for _, d := range res.Findings {
+			if keep[d.Rule] {
+				findings = append(findings, d)
+			}
+		}
+		suppressed = suppressed[:0:0]
+		for _, s := range res.Suppressed {
+			if keep[s.Rule] {
+				suppressed = append(suppressed, s)
+			}
+		}
+	}
 
 	rel := func(name string) string {
 		if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
@@ -59,17 +113,17 @@ func run(quiet bool) error {
 		}
 		return name
 	}
-	for _, d := range res.Findings {
+	for _, d := range findings {
 		fmt.Printf("%s:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Rule, d.Msg)
 	}
 	if !quiet {
-		for _, s := range res.Suppressed {
+		for _, s := range suppressed {
 			fmt.Printf("%s:%d: suppressed [%s]: %s\n", rel(s.Pos.Filename), s.Pos.Line, s.Rule, s.Reason)
 		}
 	}
 	fmt.Printf("botlint: %d packages, %d findings, %d suppressed\n",
-		len(m.Pkgs), len(res.Findings), len(res.Suppressed))
-	if len(res.Findings) > 0 {
+		len(m.Pkgs), len(findings), len(suppressed))
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 	return nil

@@ -19,7 +19,7 @@ import (
 //   - ranging over a map without a //botlint:sorted justification within
 //     the two preceding lines (map iteration order is random per run).
 func checkDeterminism(p *pass) {
-	idx := indexFuncs(p.m)
+	idx := p.idx
 	reach := reachableFrom(p.m, idx, p.cfg.DeterministicPkgs)
 
 	for _, n := range idx.list {

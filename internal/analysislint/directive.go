@@ -13,6 +13,9 @@ import (
 //	//botlint:holds <mu>                  (func doc) callers must hold <mu>
 //	//botlint:guarded-by <mu>             (field doc/comment) accesses must hold <mu>
 //	//botlint:hotpath                     (func doc) zero-alloc hygiene rules apply
+//	//botlint:atomic                      (field doc/comment) sync/atomic access only
+//	//botlint:wire-skip [p] -- <reason>   (field or func doc) exempt field/param p
+//	                                      from wireparity field matching
 const directivePrefix = "//botlint:"
 
 // ignoreDirective is one //botlint:ignore comment.
@@ -120,6 +123,23 @@ func docDirective(doc *ast.CommentGroup, verb string) (string, bool) {
 	return "", false
 }
 
+// docDirectives scans a declaration's doc comment for every
+// //botlint:<verb> directive and returns their argument strings (a func
+// doc may carry several //botlint:wire-skip lines, one per parameter).
+func docDirectives(doc *ast.CommentGroup, verb string) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		v, args, ok := splitDirective(c.Text)
+		if ok && v == verb {
+			out = append(out, args)
+		}
+	}
+	return out
+}
+
 // fieldDirective scans a struct field's doc or trailing comment for a
 // directive.
 func fieldDirective(field *ast.Field, verb string) (string, bool) {
@@ -127,4 +147,20 @@ func fieldDirective(field *ast.Field, verb string) (string, bool) {
 		return args, ok
 	}
 	return docDirective(field.Comment, verb)
+}
+
+// fieldDirectivePos returns the position of the field's <verb> directive
+// comment, for diagnostics anchored at the directive itself.
+func fieldDirectivePos(field *ast.Field, verb string) (token.Pos, bool) {
+	for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if v, _, ok := splitDirective(c.Text); ok && v == verb {
+				return c.Pos(), true
+			}
+		}
+	}
+	return token.NoPos, false
 }

@@ -1,0 +1,158 @@
+package analysislint
+
+// The escape rule is the compiler-backed complement to the syntactic
+// hotpath rule: it drives `go build -gcflags=-m` over the module and
+// reports every heap escape ("escapes to heap", "moved to heap") the
+// compiler attributes to a line inside a //botlint:hotpath function. The
+// bench-time 0-allocs gate only catches regressions when benchmarks run;
+// this catches them at lint time, from the escape analysis that decides
+// them. Escapes inside a panic(...) call's arguments are exempt — the
+// panic path fires once when the model is already broken and is outside
+// the steady-state zero-alloc contract.
+//
+// `go build ./...` on a multi-package pattern type-checks and compiles but
+// discards the outputs, and the -m diagnostics replay from the build cache
+// on repeat runs, so the gate is cheap after the first build.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+const escapeRule = "escape"
+
+// hotRange is the line span of one //botlint:hotpath function, with the
+// spans of its panic call expressions carved out.
+type hotRange struct {
+	name       string
+	start, end int
+	panics     [][2]int
+}
+
+func (h *hotRange) contains(line int) bool {
+	if line < h.start || line > h.end {
+		return false
+	}
+	for _, p := range h.panics {
+		if line >= p[0] && line <= p[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeDiagnostics runs the compiler's escape analysis over the module
+// rooted at m.Root and returns a diagnostic for every heap escape inside a
+// hotpath function. The module must come from LoadModule (a LoadDirs
+// fixture has no buildable root) — callers with only fixtures use Run,
+// which skips this rule.
+func escapeDiagnostics(m *Module) ([]Diagnostic, error) {
+	ranges := map[string][]*hotRange{} // absolute filename -> spans
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, ok := docDirective(fd.Doc, "hotpath"); !ok {
+					continue
+				}
+				start := m.Fset.Position(fd.Pos())
+				end := m.Fset.Position(fd.End())
+				hr := &hotRange{name: fd.Name.Name, start: start.Line, end: end.Line}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id, ok := call.Fun.(*ast.Ident)
+					if !ok || id.Name != "panic" {
+						return true
+					}
+					// The builtin resolves to *types.Builtin (or nothing); a
+					// shadowing local function would resolve to something else.
+					if _, isBuiltin := m.Info.Uses[id].(*types.Builtin); isBuiltin || m.Info.Uses[id] == nil {
+						hr.panics = append(hr.panics, [2]int{
+							m.Fset.Position(call.Pos()).Line,
+							m.Fset.Position(call.End()).Line,
+						})
+					}
+					return true
+				})
+				ranges[start.Filename] = append(ranges[start.Filename], hr)
+			}
+		}
+	}
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = m.Root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("escape gate: go build -gcflags=-m failed: %v\n%s", err, out)
+	}
+
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		file, ln, col, msg, ok := parseCompilerLine(line)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		// A string constant "escaping" is interface boxing of static data
+		// (a panic message, usually one inlined from another function and
+		// attributed to the call line); it costs no runtime allocation.
+		if strings.HasPrefix(msg, `"`) && strings.HasSuffix(msg, "escapes to heap") {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(m.Root, file)
+		}
+		for _, hr := range ranges[file] {
+			if !hr.contains(ln) {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+			if seen[key] {
+				break
+			}
+			seen[key] = true
+			diags = append(diags, Diagnostic{
+				Pos:  token.Position{Filename: file, Line: ln, Column: col},
+				Rule: escapeRule,
+				Msg:  fmt.Sprintf("heap escape in //botlint:hotpath function %s: %s", hr.name, msg),
+			})
+			break
+		}
+	}
+	return diags, nil
+}
+
+// parseCompilerLine splits one `file:line:col: message` diagnostic line.
+func parseCompilerLine(line string) (file string, ln, col int, msg string, ok bool) {
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 {
+		return "", 0, 0, "", false
+	}
+	ln, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	col, err = strconv.Atoi(parts[2])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	return parts[0], ln, col, strings.TrimSpace(parts[3]), true
+}

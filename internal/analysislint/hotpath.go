@@ -22,7 +22,7 @@ import (
 //   - implicit or explicit conversions of non-pointer-shaped concrete
 //     values to interface types (boxing allocates).
 func checkHotpath(p *pass) {
-	idx := indexFuncs(p.m)
+	idx := p.idx
 	for _, n := range idx.list {
 		if _, ok := docDirective(n.decl.Doc, "hotpath"); !ok {
 			continue

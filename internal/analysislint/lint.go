@@ -1,7 +1,7 @@
 // Package analysislint implements botlint, the repo's static-analysis
 // suite. It loads every package of the module with the standard library's
 // go/parser, go/ast, go/types and go/importer — no external dependencies —
-// and checks four families of invariants the simulator and the live
+// and checks eight families of invariants the simulator and the live
 // dispatch service rely on:
 //
 //   - determinism: no wall-clock or global math/rand nondeterminism, and no
@@ -10,9 +10,19 @@
 //   - lock discipline: functions annotated //botlint:holds mu are only
 //     called with mu held, fields annotated //botlint:guarded-by mu are
 //     only touched with mu held (rule "locks");
+//   - lock ordering: the acquisition graph built from syntactic Lock sites
+//     and the annotations above must stay acyclic (rule "lockorder");
+//   - atomic discipline: struct fields of sync/atomic types, annotated
+//     //botlint:atomic, or passed to sync/atomic operations anywhere may
+//     never also be read or written plainly (rule "atomics");
 //   - hot-path allocation hygiene: functions annotated //botlint:hotpath
 //     avoid the constructs that put allocations or hidden costs on the
 //     dispatch path (rule "hotpath");
+//   - compiler-verified escapes: no //botlint:hotpath function may report
+//     a heap escape under `go build -gcflags=-m` (rule "escape"; RunAll);
+//   - wire/JSON protocol parity: every wire message constant has encode and
+//     dispatch arms, and each wire message's fields stay name/type-parallel
+//     with its JSON protocol twin (rule "wireparity");
 //   - error strictness: fsync/write errors of the durability layer are
 //     never discarded (rule "errcheck").
 //
@@ -29,6 +39,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Rules lists every analyzer rule name with a one-line description, in
@@ -36,7 +47,11 @@ import (
 var Rules = []struct{ Name, Doc string }{
 	{"determinism", "no time.Now, global math/rand, constant-seeded rand sources, or unsorted map ranges in simulation-reachable code"},
 	{"locks", "//botlint:holds and //botlint:guarded-by mutex annotations are respected"},
+	{"lockorder", "the lock-acquisition graph built from Lock sites and annotations has no cycle"},
+	{"atomics", "fields of sync/atomic types or annotated //botlint:atomic are never read or written plainly"},
 	{"hotpath", "//botlint:hotpath functions avoid fmt, defer, escaping appends, closures and boxing interface conversions"},
+	{"escape", "//botlint:hotpath functions report no heap escapes under go build -gcflags=-m"},
+	{"wireparity", "wire message constants have encode and dispatch arms; wire messages stay field-parallel with their JSON twins"},
 	{"errcheck", "no discarded errors from os.File.Sync or the durability and replication write/sync/send/ack APIs"},
 }
 
@@ -53,6 +68,19 @@ func knownRule(name string) bool {
 	return false
 }
 
+// WirePair declares one wire-message ↔ JSON-protocol twin for the
+// wireparity analyzer. Wire names either a struct type or an encode
+// function whose non-buffer parameters mirror the JSON struct's fields;
+// JSON names a struct type. Fields are matched case-insensitively by name
+// and must have identical types; pointer-to-struct fields of the JSON side
+// are flattened into their components (FetchResponse.Assignment).
+type WirePair struct {
+	WirePkg string // import path declaring the wire side
+	Wire    string // struct type name or encode-function name
+	JSONPkg string // import path declaring the JSON side
+	JSON    string // struct type name
+}
+
 // Config selects what the analyzers treat as in scope.
 type Config struct {
 	// DeterministicPkgs are the import paths whose code — plus everything
@@ -63,6 +91,12 @@ type Config struct {
 	// write/sync/append/flush/close/send/ack APIs must never have their
 	// errors discarded.
 	StrictErrorPkgs []string
+	// WirePairs are the wire ↔ JSON message twins the wireparity analyzer
+	// holds field-parallel.
+	WirePairs []WirePair
+	// WireConstPkgs are the import paths whose msg*/op* byte constants must
+	// each have an encode call site and a dispatch (switch/comparison) site.
+	WireConstPkgs []string
 }
 
 // DefaultConfig returns the botgrid configuration: the simulation clock's
@@ -70,8 +104,12 @@ type Config struct {
 // replication layer's log-transfer APIs and the binary wire transport are
 // error-strict (a dropped send or ack error can silently stall a quorum,
 // a dropped wire flush strands a client mid-batch, just as a dropped
-// fsync error can silently lose acknowledged data).
+// fsync error can silently lose acknowledged data); and the binary wire
+// protocol is held message-for-message and field-for-field parallel to
+// internal/serve's JSON protocol.
 func DefaultConfig(modPath string) Config {
+	wirePkg := modPath + "/internal/wire"
+	servePkg := modPath + "/internal/serve"
 	return Config{
 		DeterministicPkgs: []string{
 			modPath + "/internal/des",
@@ -83,8 +121,17 @@ func DefaultConfig(modPath string) Config {
 		StrictErrorPkgs: []string{
 			modPath + "/internal/journal",
 			modPath + "/internal/replicate",
-			modPath + "/internal/wire",
+			wirePkg,
 		},
+		WirePairs: []WirePair{
+			{WirePkg: wirePkg, Wire: "SubmitResult", JSONPkg: servePkg, JSON: "SubmitResponse"},
+			{WirePkg: wirePkg, Wire: "FetchResult", JSONPkg: servePkg, JSON: "FetchResponse"},
+			{WirePkg: wirePkg, Wire: "appendSubmit", JSONPkg: servePkg, JSON: "SubmitRequest"},
+			{WirePkg: wirePkg, Wire: "appendFetch", JSONPkg: servePkg, JSON: "FetchRequest"},
+			{WirePkg: wirePkg, Wire: "appendReport", JSONPkg: servePkg, JSON: "ReportRequest"},
+			{WirePkg: wirePkg, Wire: "appendHeartbeat", JSONPkg: servePkg, JSON: "HeartbeatRequest"},
+		},
+		WireConstPkgs: []string{wirePkg},
 	}
 }
 
@@ -118,10 +165,13 @@ type Result struct {
 	Suppressed []Suppression
 }
 
-// pass carries shared lookup state to the analyzers.
+// pass carries shared lookup state to one analyzer. Each analyzer gets its
+// own pass (and its own report sink) so they can run concurrently; the
+// module, directive index and function index are shared and read-only.
 type pass struct {
 	m      *Module
 	cfg    Config
+	idx    *funcIndex
 	dirs   map[*ast.File]*fileDirectives
 	byName map[string]*fileDirectives // keyed by filename
 	report func(pos token.Pos, rule, msg string)
@@ -135,37 +185,82 @@ func (p *pass) fileDirs(pos token.Pos) *fileDirectives {
 	return &fileDirectives{}
 }
 
-// Run executes every analyzer over the loaded module and applies
-// suppressions.
-func Run(m *Module, cfg Config) *Result {
-	dirs := make(map[*ast.File]*fileDirectives)
-	byName := make(map[string]*fileDirectives)
+// analyzers are the in-process checks, in report order. The escape rule is
+// not listed: it shells out to the compiler and only runs under RunAll.
+var analyzers = []struct {
+	name string
+	run  func(*pass)
+}{
+	{"determinism", checkDeterminism},
+	{"locks", checkLocks},
+	{"lockorder", checkLockOrder},
+	{"atomics", checkAtomics},
+	{"hotpath", checkHotpath},
+	{"wireparity", checkWireParity},
+	{"errcheck", checkErrStrict},
+}
+
+// collector is one lint run's shared state: the parsed directives and the
+// raw (pre-suppression) diagnostics.
+type collector struct {
+	m      *Module
+	dirs   map[*ast.File]*fileDirectives
+	byName map[string]*fileDirectives
+	raw    []Diagnostic
+}
+
+// collect runs every in-process analyzer concurrently over one shared
+// load. The module's FileSet, type info and function index are immutable
+// after loading, so the only per-analyzer state is the diagnostic sink;
+// the per-analyzer slices are merged in analyzer order (and later sorted
+// by position), so the output is deterministic regardless of scheduling.
+func collect(m *Module, cfg Config) *collector {
+	c := &collector{
+		m:      m,
+		dirs:   make(map[*ast.File]*fileDirectives),
+		byName: make(map[string]*fileDirectives),
+	}
 	for _, pkg := range m.Pkgs {
 		for _, f := range pkg.Files {
 			fd := parseFileDirectives(m.Fset, f)
-			dirs[f] = fd
-			byName[m.Fset.Position(f.Pos()).Filename] = fd
+			c.dirs[f] = fd
+			c.byName[m.Fset.Position(f.Pos()).Filename] = fd
 		}
 	}
+	idx := indexFuncs(m)
 
-	var raw []Diagnostic
-	p := &pass{
-		m:      m,
-		cfg:    cfg,
-		dirs:   dirs,
-		byName: byName,
-		report: func(pos token.Pos, rule, msg string) {
-			raw = append(raw, Diagnostic{Pos: m.Fset.Position(pos), Rule: rule, Msg: msg})
-		},
+	diags := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, run func(*pass)) {
+			defer wg.Done()
+			p := &pass{
+				m:      m,
+				cfg:    cfg,
+				idx:    idx,
+				dirs:   c.dirs,
+				byName: c.byName,
+				report: func(pos token.Pos, rule, msg string) {
+					diags[i] = append(diags[i], Diagnostic{Pos: m.Fset.Position(pos), Rule: rule, Msg: msg})
+				},
+			}
+			run(p)
+		}(i, a.run)
 	}
-	checkDeterminism(p)
-	checkLocks(p)
-	checkHotpath(p)
-	checkErrStrict(p)
+	wg.Wait()
+	for _, d := range diags {
+		c.raw = append(c.raw, d...)
+	}
+	return c
+}
 
+// finalize applies suppressions to the raw diagnostics and reports
+// defective directives.
+func (c *collector) finalize() *Result {
 	res := &Result{}
-	for _, d := range raw {
-		if fd, ok := byName[d.Pos.Filename]; ok {
+	for _, d := range c.raw {
+		if fd, ok := c.byName[d.Pos.Filename]; ok {
 			if ig := fd.ignoreAt(d.Rule, d.Pos.Line); ig != nil {
 				ig.used = true
 				res.Suppressed = append(res.Suppressed, Suppression{
@@ -179,7 +274,7 @@ func Run(m *Module, cfg Config) *Result {
 
 	// The suppressions themselves are findings when defective: unknown
 	// rule, missing reason, or stale (nothing left to suppress).
-	for _, fd := range dirs {
+	for _, fd := range c.dirs {
 		for _, ig := range fd.ignores {
 			switch {
 			case !knownRule(ig.rule):
@@ -218,6 +313,31 @@ func Run(m *Module, cfg Config) *Result {
 		return a.Line < b.Line
 	})
 	return res
+}
+
+// Run executes the in-process analyzers over the loaded module and applies
+// suppressions. The escape rule needs the compiler and only runs under
+// RunAll; a fixture run through Run never reports (nor stales out) escape
+// suppressions.
+func Run(m *Module, cfg Config) *Result {
+	return collect(m, cfg).finalize()
+}
+
+// RunAll is Run plus the compiler-backed escape gate: it drives
+// `go build -gcflags=-m` over the module and reports any heap escape
+// inside a //botlint:hotpath function as rule "escape". Escape diagnostics
+// join the raw stream before suppression resolution, so //botlint:ignore
+// escape directives are honored and staleness-checked like any other. The
+// module must have been loaded with LoadModule (escape analysis needs the
+// module root to build).
+func RunAll(m *Module, cfg Config) (*Result, error) {
+	c := collect(m, cfg)
+	esc, err := escapeDiagnostics(m)
+	if err != nil {
+		return nil, err
+	}
+	c.raw = append(c.raw, esc...)
+	return c.finalize(), nil
 }
 
 func sortDiags(ds []Diagnostic) {

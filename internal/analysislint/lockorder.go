@@ -1,0 +1,347 @@
+package analysislint
+
+// The lockorder rule: build a lock-acquisition graph — an edge A→B means
+// some code path acquires B while holding A — and flag any cycle, because
+// two goroutines walking a cycle from different ends deadlock. Lock
+// identity is the declared variable (*types.Var), so `s.shards[i].mu` and
+// `s.shards[j].mu` collapse into one lock class: self-edges on a class
+// (holding one shard's mutex while taking another's) are reported too,
+// which pins the rebalancer's one-lock-at-a-time discipline and the
+// router→shard ordering.
+//
+// Edges come from three places: syntactic `mu.Lock()` / `mu.RLock()`
+// sites, walked in source order with a held-set (an Unlock in source
+// releases, a deferred Unlock does not); calls to in-tree functions, which
+// contribute their transitive acquire-set (fixpoint over the call graph);
+// and //botlint:holds annotations, which seed the held-set of the
+// annotated function's body. `go` statements and function literals are
+// excluded from a caller's walk — a spawned goroutine does not inherit the
+// spawner's locks — and literals are analyzed as their own lock-free
+// roots. The walk is flow-insensitive (branches are read top to bottom),
+// which can miss release edges but not invent acquisition edges.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+const lockOrderRule = "lockorder"
+
+// lockEdge is one witnessed acquisition: to was acquired at pos while from
+// was held.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+}
+
+type lockOrder struct {
+	p *pass
+	// acquires is each function's transitive acquire-set.
+	acquires map[*types.Func]map[*types.Var]bool
+	// edges are deduplicated by (from, to); the first witness position wins.
+	edges   []lockEdge
+	edgeSet map[[2]*types.Var]bool
+	// succ is the adjacency view of edges for cycle queries.
+	succ map[*types.Var][]*types.Var
+}
+
+func checkLockOrder(p *pass) {
+	lo := &lockOrder{
+		p:        p,
+		acquires: map[*types.Func]map[*types.Var]bool{},
+		edgeSet:  map[[2]*types.Var]bool{},
+		succ:     map[*types.Var][]*types.Var{},
+	}
+
+	// holds annotations seed the held-set of the annotated body.
+	holds := map[*types.Func]*types.Var{}
+	for _, fn := range p.idx.list {
+		if name, ok := docDirective(fn.decl.Doc, "holds"); ok {
+			if mu := lo.resolveMutexName(fn, name); mu != nil {
+				holds[fn.obj] = mu
+			}
+		}
+	}
+
+	// Phase 1: direct acquire-sets, then the transitive fixpoint.
+	for _, fn := range p.idx.list {
+		set := map[*types.Var]bool{}
+		lo.walk(fn.decl.Body, nil, func(m *types.Var, _ token.Pos) { set[m] = true }, nil)
+		lo.acquires[fn.obj] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.idx.list {
+			set := lo.acquires[fn.obj]
+			lo.walk(fn.decl.Body, nil, nil, func(g *types.Func, _ token.Pos) {
+				for m := range lo.acquires[g] {
+					if !set[m] {
+						set[m] = true
+						changed = true
+					}
+				}
+			})
+		}
+	}
+
+	// Phase 2: edge generation with a live held-set.
+	for _, fn := range p.idx.list {
+		var held []*types.Var
+		if mu := holds[fn.obj]; mu != nil {
+			held = append(held, mu)
+		}
+		lo.walkEdges(fn.decl.Body, held)
+	}
+	// Function literals are their own lock-free roots.
+	for _, pkg := range p.m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lo.walkEdges(lit.Body, nil)
+				}
+				return true
+			})
+		}
+	}
+
+	// Report every edge that lies on a cycle, anchored at its witness.
+	for _, e := range lo.edges {
+		if lo.reaches(e.to, e.from) {
+			p.report(e.pos, lockOrderRule, fmt.Sprintf(
+				"lock-order cycle: %s acquired while holding %s, and elsewhere %s is acquired while holding %s",
+				lo.name(e.to), lo.name(e.from), lo.name(e.from), lo.name(e.to)))
+		}
+	}
+}
+
+// walkEdges walks body with the given initial held-set, recording an edge
+// for every acquisition made while something is held.
+func (lo *lockOrder) walkEdges(body *ast.BlockStmt, held []*types.Var) {
+	lo.walk(body, &held, func(m *types.Var, pos token.Pos) {
+		for _, h := range held {
+			lo.addEdge(h, m, pos)
+		}
+	}, func(g *types.Func, pos token.Pos) {
+		for _, h := range held {
+			for m := range lo.acquires[g] {
+				lo.addEdge(h, m, pos)
+			}
+		}
+	})
+}
+
+// walk traverses body in source order. When held is non-nil it is updated
+// at Lock/Unlock sites (deferred Unlocks are ignored: they release at
+// return, not at the defer statement). onLock fires at each direct
+// acquisition, onCall at each call resolving to an in-tree function.
+// `go` statements and function literals are skipped.
+func (lo *lockOrder) walk(body *ast.BlockStmt, held *[]*types.Var, onLock func(*types.Var, token.Pos), onCall func(*types.Func, token.Pos)) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if lo.mutexTarget(n.Call, "Unlock", "RUnlock") != nil {
+				return false // releases at return; the held-set keeps it
+			}
+			return true
+		case *ast.CallExpr:
+			if m := lo.mutexTarget(n, "Lock", "RLock"); m != nil {
+				if onLock != nil {
+					onLock(m, n.Pos())
+				}
+				if held != nil {
+					*held = append(*held, m)
+				}
+				return false
+			}
+			if m := lo.mutexTarget(n, "Unlock", "RUnlock"); m != nil {
+				if held != nil {
+					removeLast(held, m)
+				}
+				return false
+			}
+			if g := lo.callee(n); g != nil && onCall != nil {
+				onCall(g, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// mutexTarget resolves call to the sync.Mutex/RWMutex variable it locks or
+// unlocks when call is `x.<name>()` for one of the given method names.
+func (lo *lockOrder) mutexTarget(call *ast.CallExpr, names ...string) *types.Var {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return nil
+	}
+	var id *ast.Ident
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := lo.p.m.Info.Uses[id].(*types.Var)
+	if !ok || !isSyncMutex(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// callee resolves call to an in-tree function with a body.
+func (lo *lockOrder) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := lo.p.m.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, known := lo.p.idx.byObj[fn]; !known {
+		return nil
+	}
+	return fn
+}
+
+// resolveMutexName resolves a //botlint:holds name against the function's
+// receiver fields, then its package scope.
+func (lo *lockOrder) resolveMutexName(fn *funcNode, name string) *types.Var {
+	if fn.decl.Recv != nil && len(fn.decl.Recv.List) > 0 {
+		t := lo.p.m.Info.TypeOf(fn.decl.Recv.List[0].Type)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if f := st.Field(i); f.Name() == name && isSyncMutex(f.Type()) {
+					return f
+				}
+			}
+		}
+	}
+	if fn.pkg != nil && fn.pkg.Types != nil {
+		if v, ok := fn.pkg.Types.Scope().Lookup(name).(*types.Var); ok && isSyncMutex(v.Type()) {
+			return v
+		}
+	}
+	return nil
+}
+
+func (lo *lockOrder) addEdge(from, to *types.Var, pos token.Pos) {
+	if from == to {
+		// Re-acquiring the same lock class while holding it — the rebalancer
+		// taking a second shard's mutex, or a plain self-deadlock. A cycle of
+		// length one.
+		key := [2]*types.Var{from, to}
+		if !lo.edgeSet[key] {
+			lo.edgeSet[key] = true
+			lo.p.report(pos, lockOrderRule, fmt.Sprintf(
+				"lock-order cycle: %s acquired while an instance of %s is already held (lock classes are per declaration, not per instance)",
+				lo.name(to), lo.name(from)))
+		}
+		return
+	}
+	key := [2]*types.Var{from, to}
+	if lo.edgeSet[key] {
+		return
+	}
+	lo.edgeSet[key] = true
+	lo.edges = append(lo.edges, lockEdge{from: from, to: to, pos: pos})
+	lo.succ[from] = append(lo.succ[from], to)
+}
+
+// reaches reports whether the edge graph has a path from a to b.
+func (lo *lockOrder) reaches(a, b *types.Var) bool {
+	seen := map[*types.Var]bool{}
+	var dfs func(n *types.Var) bool
+	dfs = func(n *types.Var) bool {
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		// Deterministic traversal order is irrelevant to the boolean result,
+		// but sort anyway so debugging walks are stable.
+		next := append([]*types.Var(nil), lo.succ[n]...)
+		sort.Slice(next, func(i, j int) bool { return next[i].Pos() < next[j].Pos() })
+		for _, m := range next {
+			if dfs(m) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(a)
+}
+
+// name renders a lock class for diagnostics as name@file:line of its
+// declaration.
+func (lo *lockOrder) name(v *types.Var) string {
+	pos := lo.p.m.Fset.Position(v.Pos())
+	return fmt.Sprintf("%s (%s:%d)", v.Name(), shortPath(pos.Filename), pos.Line)
+}
+
+func removeLast(held *[]*types.Var, m *types.Var) {
+	s := *held
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == m {
+			*held = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// shortPath trims a path to its final element for diagnostic text.
+func shortPath(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -20,7 +20,7 @@ import (
 // requiring flow analysis, and the few constructor-time exceptions carry
 // explicit //botlint:ignore reasons.
 func checkLocks(p *pass) {
-	idx := indexFuncs(p.m)
+	idx := p.idx
 
 	// Function annotations: //botlint:holds <mu> in the doc comment.
 	holds := make(map[*types.Func]string)

@@ -1,0 +1,39 @@
+// Package escapefix is the clean-negative fixture for the escape gate: a
+// pooled hotpath whose growth allocation carries a reasoned suppression,
+// a hotpath whose only escape feeds a panic, and a cold function that
+// allocates freely because it is not annotated.
+package escapefix
+
+type rung struct {
+	items []int
+}
+
+var pool []*rung
+
+// take pops from the pool, growing it when empty.
+//
+//botlint:hotpath
+func take() *rung {
+	if n := len(pool); n > 0 {
+		r := pool[n-1]
+		pool = pool[:n-1]
+		return r
+	}
+	//botlint:ignore escape -- pool growth: one allocation per steady-state rung, amortized to zero
+	return &rung{}
+}
+
+// check panics on bad input; the panic argument may escape, but the
+// function is already dead at that point.
+//
+//botlint:hotpath
+func check(n int) {
+	if n < 0 {
+		panic(&rung{items: []int{n}})
+	}
+}
+
+// cold is not a hotpath, so its allocations are unconstrained.
+func cold(n int) *rung {
+	return &rung{items: make([]int, n)}
+}

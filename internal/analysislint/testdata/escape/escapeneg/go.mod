@@ -1,0 +1,3 @@
+module escapefix
+
+go 1.22

@@ -1,0 +1,19 @@
+// Package escapefix is the caught-positive fixture for the escape gate:
+// hotpath functions whose values the compiler moves to the heap.
+package escapefix
+
+// Leak returns the address of a local, forcing it to the heap.
+//
+//botlint:hotpath
+func Leak() *int {
+	x := 7 // want escape
+	return &x
+}
+
+// Grow allocates a slice whose size the compiler cannot bound.
+//
+//botlint:hotpath
+func Grow(n int) []byte {
+	b := make([]byte, n) // want escape
+	return b
+}

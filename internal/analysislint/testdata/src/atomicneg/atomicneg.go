@@ -1,0 +1,45 @@
+// Package atomicneg is the clean-negative fixture for the atomics rule:
+// typed fields used only through their methods, an annotated field only
+// through sync/atomic functions, composite-literal initialization, and an
+// ordinary field accessed freely.
+package atomicneg
+
+import "sync/atomic"
+
+// Gate mirrors the cluster gate: a swapped server pointer plus counters.
+type Gate struct {
+	srv   atomic.Pointer[Srv]
+	moves atomic.Int64
+	// polls is only touched through sync/atomic functions.
+	polls uint64 //botlint:atomic
+	// name is an ordinary field; plain access stays legal.
+	name string
+}
+
+// Srv is the swapped-in server.
+type Srv struct{ Addr string }
+
+// NewGate initializes through a composite literal, which is exempt: the
+// value is not shared yet.
+func NewGate(name string) *Gate {
+	return &Gate{name: name, polls: 0}
+}
+
+// Serve routes through the pointer's methods.
+func (g *Gate) Serve() *Srv { return g.srv.Load() }
+
+// Promote installs a new server and counts the move.
+func (g *Gate) Promote(s *Srv) {
+	if g.srv.Swap(s) != s {
+		g.moves.Add(1)
+	}
+}
+
+// Poll counts atomically.
+func (g *Gate) Poll() uint64 { return atomic.AddUint64(&g.polls, 1) }
+
+// Polls reads the annotated counter atomically.
+func (g *Gate) Polls() uint64 { return atomic.LoadUint64(&g.polls) }
+
+// Name reads the ordinary field plainly.
+func (g *Gate) Name() string { return g.name }

@@ -1,0 +1,83 @@
+// Package lockorderneg is the clean-negative fixture for the lockorder
+// rule: a consistent router→shard order (direct and through a callee),
+// release-before-reacquire, deferred unlocks, one-lock-at-a-time
+// rebalancing, and goroutines that do not inherit the spawner's locks.
+package lockorderneg
+
+import "sync"
+
+var router, shard sync.Mutex
+
+// Dispatch keeps the global order: router, then shard.
+func Dispatch() {
+	router.Lock()
+	shard.Lock()
+	shard.Unlock()
+	router.Unlock()
+}
+
+// Route respects the same order through a callee's acquire-set.
+func Route() {
+	router.Lock()
+	touchShard()
+	router.Unlock()
+}
+
+func touchShard() {
+	shard.Lock()
+	shard.Unlock()
+}
+
+// Handoff releases the shard before going back to the router, so no
+// shard→router edge exists and the graph stays acyclic.
+func Handoff() {
+	shard.Lock()
+	shard.Unlock()
+	router.Lock()
+	router.Unlock()
+}
+
+// DispatchDeferred holds both to function end; the order still matches.
+func DispatchDeferred() {
+	router.Lock()
+	defer router.Unlock()
+	shard.Lock()
+	defer shard.Unlock()
+}
+
+// Rebalancer moves work one lock at a time, parking state in between —
+// the serve rebalancer's documented discipline.
+type Rebalancer struct {
+	mu    sync.Mutex
+	moved int
+}
+
+// Dest is one rebalance target.
+type Dest struct {
+	mu   sync.Mutex
+	load int
+}
+
+// Rebalance never holds two locks at once.
+func (r *Rebalancer) Rebalance(shards []*Dest) {
+	for _, d := range shards {
+		d.mu.Lock()
+		n := d.load
+		d.load = 0
+		d.mu.Unlock()
+		r.mu.Lock()
+		r.moved += n
+		r.mu.Unlock()
+	}
+}
+
+// Spawn hands work to a goroutine; the spawned literal's locks are its
+// own roots, not edges from the spawner's held set.
+func Spawn() {
+	router.Lock()
+	go func() {
+		shard.Lock()
+		shard.Unlock()
+	}()
+	router.Unlock()
+}

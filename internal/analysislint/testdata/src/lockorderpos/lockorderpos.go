@@ -1,0 +1,86 @@
+// Package lockorderpos is the caught-positive fixture for the lockorder
+// rule: an AB/BA cycle, an interprocedural cycle through a callee's
+// acquire-set, a holds-seeded cycle, and a cross-instance self-cycle on
+// one lock class.
+package lockorderpos
+
+import "sync"
+
+var a, b sync.Mutex
+
+// TakeAB locks a then b.
+func TakeAB() {
+	a.Lock()
+	b.Lock() // want lockorder
+	b.Unlock()
+	a.Unlock()
+}
+
+// TakeBA locks b then a: the reverse order.
+func TakeBA() {
+	b.Lock()
+	a.Lock() // want lockorder
+	a.Unlock()
+	b.Unlock()
+}
+
+var c, d sync.Mutex
+
+// HoldC calls lockD with c held: the edge comes from lockD's acquire-set.
+func HoldC() {
+	c.Lock()
+	lockD() // want lockorder
+	c.Unlock()
+}
+
+func lockD() {
+	d.Lock()
+	d.Unlock()
+}
+
+// HoldD takes c directly while holding d, closing the cycle.
+func HoldD() {
+	d.Lock()
+	c.Lock() // want lockorder
+	c.Unlock()
+	d.Unlock()
+}
+
+// Pair is a two-mutex struct whose annotated method inverts Grab's order.
+type Pair struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+// withX locks y under its caller's x, per the annotation.
+//
+//botlint:holds x
+func (p *Pair) withX() {
+	p.y.Lock() // want lockorder
+	p.y.Unlock()
+}
+
+// Grab takes y then x: the reverse of withX's contract.
+func (p *Pair) Grab() {
+	p.y.Lock()
+	p.x.Lock() // want lockorder
+	p.x.Unlock()
+	p.y.Unlock()
+}
+
+// Shard mirrors the dispatch shards: one mutex per shard instance.
+type Shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Drain holds two instances of the same lock class at once; lock classes
+// are per declaration, so this is a length-one cycle.
+func Drain(from, to *Shard) {
+	from.mu.Lock()
+	to.mu.Lock() // want lockorder
+	to.n += from.n
+	from.n = 0
+	to.mu.Unlock()
+	from.mu.Unlock()
+}

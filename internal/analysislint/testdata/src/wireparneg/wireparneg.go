@@ -1,0 +1,63 @@
+// Package wireparneg is the clean-negative fixture for the wireparity
+// rule: a struct pair matched through a nested JSON struct, an encode
+// function with a reasoned parameter skip, a field-form skip with a
+// reason, and wire constants with both send and dispatch sites.
+package wireparneg
+
+// WireFetch is the binary form of JSONFetch: the JSON side nests the
+// assignment, the wire side flattens it.
+type WireFetch struct {
+	Assigned bool
+	Replica  uint64
+	Work     float64
+	RetryMs  int
+}
+
+// JSONFetch is the HTTP form of WireFetch.
+type JSONFetch struct {
+	Assigned   bool
+	Assignment *Assignment
+	RetryMs    int
+}
+
+// Assignment carries the nested fields the wire form flattens.
+type Assignment struct {
+	Replica uint64
+	Work    float64
+}
+
+// appendPoll encodes a PollReq.
+//
+//botlint:wire-skip worker -- the JSON protocol carries the worker ID in the URL path
+func appendPoll(dst []byte, worker string, power float64) []byte {
+	_ = worker
+	_ = power
+	return dst
+}
+
+// PollReq is the HTTP form of appendPoll's parameters.
+type PollReq struct {
+	Power float64
+	// Deadline only exists on the HTTP side.
+	//botlint:wire-skip -- the binary protocol uses connection deadlines instead
+	Deadline int64 `json:"deadline"`
+}
+
+const (
+	msgPoll     byte = 1
+	msgPollResp byte = 2
+	msgLast          = msgPollResp
+)
+
+// sendPoll stages both constants.
+func sendPoll(buf []byte) {
+	stage(buf, msgPoll)
+	stage(buf, msgPollResp)
+}
+
+// dispatchPoll compares both constants.
+func dispatchPoll(typ byte) bool {
+	return typ == msgPoll || typ == msgPollResp || typ == msgLast
+}
+
+func stage(_ []byte, _ byte) {}

@@ -1,0 +1,101 @@
+// Package wireparpos is the caught-positive fixture for the wireparity
+// rule: missing twins on both sides, a drifted field type, an unskipped
+// encode parameter, defective wire-skip directives, and wire constants
+// with no send or dispatch site.
+package wireparpos
+
+// WireFoo is the binary form of JSONFoo; B has no JSON twin.
+type WireFoo struct {
+	A int
+	B uint64 // want wireparity
+}
+
+// JSONFoo is the HTTP form of WireFoo; C has no wire twin.
+type JSONFoo struct {
+	A int
+	C string // want wireparity
+}
+
+// WireBar narrows N to 32 bits while the JSON side kept 64.
+type WireBar struct {
+	N int32 // want wireparity
+}
+
+// JSONBar is the HTTP form of WireBar.
+type JSONBar struct {
+	N int64
+}
+
+// appendThing encodes a ThingReq; worker is neither mirrored nor skipped.
+func appendThing(dst []byte, worker string, power float64) []byte { // want wireparity
+	_ = worker
+	_ = power
+	return dst
+}
+
+// ThingReq is the HTTP form of appendThing's parameters.
+type ThingReq struct {
+	Power float64
+}
+
+// appendGone's skip names a parameter that no longer exists.
+//
+//botlint:wire-skip nosuch -- the parameter was renamed
+func appendGone(dst []byte, q int) []byte { // want wireparity
+	_ = q
+	return dst
+}
+
+// GoneReq is the HTTP form of appendGone's parameters.
+type GoneReq struct {
+	Q int
+}
+
+// appendHalf's skip names token but gives no reason.
+//
+//botlint:wire-skip token
+func appendHalf(dst []byte, token string, n int) []byte { // want wireparity
+	_ = token
+	_ = n
+	return dst
+}
+
+// HalfReq is the HTTP form of appendHalf's parameters.
+type HalfReq struct {
+	N int
+}
+
+// WireBaz pads its frame, but the skip directive carries no reason.
+type WireBaz struct {
+	V   int
+	Pad uint32 //botlint:wire-skip // want wireparity
+}
+
+// JSONBaz is the HTTP form of WireBaz.
+type JSONBaz struct {
+	V int
+}
+
+const (
+	msgPing byte = 1 // want wireparity
+	msgPong byte = 2 // want wireparity
+	msgEcho byte = 3
+	msgMax       = msgEcho
+)
+
+// sendPong stages msgPong (its only use) and msgEcho's first send.
+func sendPong(buf []byte) {
+	stage(buf, msgPong)
+	stage(buf, msgEcho)
+}
+
+// dispatchEcho gives msgEcho its dispatch site.
+func dispatchEcho(typ byte) bool {
+	switch typ {
+	case msgEcho:
+		return true
+	}
+	return typ == msgMax
+}
+
+func stage(_ []byte, _ byte) {}

@@ -551,10 +551,20 @@ func (l *ladder) getRung(nb int) *rung {
 		l.free[n-1] = nil
 		l.free = l.free[:n-1]
 	} else {
-		r = &rung{bucket: make([][]item, maxSpawnBuckets)}
+		r = newRung()
 	}
 	r.cur, r.nb = 0, nb
 	return r
+}
+
+// newRung allocates a fresh rung with its full bucket array. Kept out of
+// the inliner so the allocation is attributed here — once per steady-state
+// rung population — instead of smearing a heap escape across getRung and
+// every spawn site it inlines into.
+//
+//go:noinline
+func newRung() *rung {
+	return &rung{bucket: make([][]item, maxSpawnBuckets)}
 }
 
 // cancel unqueues a pending event. If the insert-time stamp still points

@@ -48,16 +48,19 @@ type Replica struct {
 
 	// snapBuf is the current snapshot image; tail holds the framed wire
 	// entries for LSNs snapLSN+1..lastLSN.
-	snapBuf  []byte
-	snapLSN  uint64
-	tail     [][]byte
-	tailBase uint64
-	lastLSN  uint64
+	snapBuf  []byte   //botlint:guarded-by mu
+	snapLSN  uint64   //botlint:guarded-by mu
+	tail     [][]byte //botlint:guarded-by mu
+	tailBase uint64   //botlint:guarded-by mu
+	lastLSN  uint64   //botlint:guarded-by mu
 
-	localDur uint64 // newest LSN the local journal reports durable
-	commit   uint64 // newest quorum-durable LSN
-	deposed  error  // ErrDeposed (or a fatal log error); sticky
-	closed   bool
+	// localDur is the newest LSN the local journal reports durable.
+	localDur uint64 //botlint:guarded-by mu
+	// commit is the newest quorum-durable LSN.
+	commit uint64 //botlint:guarded-by mu
+	// deposed is ErrDeposed (or a fatal log error); sticky.
+	deposed error //botlint:guarded-by mu
+	closed  bool  //botlint:guarded-by mu
 
 	followers map[string]*followerState
 
@@ -68,10 +71,11 @@ type Replica struct {
 
 // followerState is the leader's book-keeping for one follower.
 type followerState struct {
-	peer      Peer
-	kick      chan struct{}
-	match     uint64
-	connected bool
+	peer  Peer
+	kick  chan struct{}
+	match uint64 //botlint:guarded-by mu
+	// connected reports whether the follower's stream is up.
+	connected bool //botlint:guarded-by mu
 }
 
 // newReplica builds the leader log around an already-open journal whose

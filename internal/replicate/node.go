@@ -55,33 +55,35 @@ type Node struct {
 	cbMu sync.Mutex
 
 	mu         sync.Mutex
-	term       uint64
-	votedFor   string
-	appendTerm uint64
-	role       Role
-	leaderID   string
-	leaderHTTP string
-	leaderSeen time.Time
-	commit     uint64
+	term       uint64    //botlint:guarded-by mu
+	votedFor   string    //botlint:guarded-by mu
+	appendTerm uint64    //botlint:guarded-by mu
+	role       Role      //botlint:guarded-by mu
+	leaderID   string    //botlint:guarded-by mu
+	leaderHTTP string    //botlint:guarded-by mu
+	leaderSeen time.Time //botlint:guarded-by mu
+	commit     uint64    //botlint:guarded-by mu
 
 	// Follower-mode log state (nil while this node leads).
-	jnl     *journal.Journal
-	state   *journal.State
-	lastLSN uint64
-	snapLSN uint64
-	applied int
+	jnl     *journal.Journal //botlint:guarded-by mu
+	state   *journal.State   //botlint:guarded-by mu
+	lastLSN uint64           //botlint:guarded-by mu
+	snapLSN uint64           //botlint:guarded-by mu
+	applied int              //botlint:guarded-by mu
 
-	epoch     time.Time
-	bootFresh bool
+	epoch     time.Time //botlint:guarded-by mu
+	bootFresh bool      //botlint:guarded-by mu
 
-	rep *Replica // leader-mode log (nil otherwise)
+	// rep is the leader-mode log (nil otherwise).
+	rep *Replica //botlint:guarded-by mu
 
-	cur *session // current leader session, if any
+	// cur is the current leader session, if any.
+	cur *session //botlint:guarded-by mu
 
-	elections    int
-	lastFailover time.Time
-	fatal        error
-	closed       bool
+	elections    int       //botlint:guarded-by mu
+	lastFailover time.Time //botlint:guarded-by mu
+	fatal        error     //botlint:guarded-by mu
+	closed       bool      //botlint:guarded-by mu
 }
 
 // session is one accepted leader connection.

@@ -78,7 +78,10 @@ const (
 // ReportRequest reports the outcome of an assignment.
 type ReportRequest struct {
 	Replica uint64 `json:"replica"`
-	Status  string `json:"status"`
+	// Status is "done" or "failed"; the binary wire protocol encodes the
+	// same bit as appendReport's failed status byte.
+	//botlint:wire-skip -- mirrored by the wire codec's failed flag, compared as a status byte rather than a string
+	Status string `json:"status"`
 }
 
 // ReportResponse acknowledges a report.

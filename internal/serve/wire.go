@@ -58,6 +58,7 @@ func (ws *wireSession) id(worker []byte) string {
 	if id, ok := ws.intern[string(worker)]; ok {
 		return id
 	}
+	//botlint:ignore escape -- first contact only: the interned ID must outlive the connection's read buffer; every later call is an allocation-free map probe
 	id := string(worker)
 	ws.intern[id] = id
 	return id

@@ -30,6 +30,7 @@ type Client struct {
 
 	rbuf  []byte // frame read buffer
 	pbuf  []byte // request payload under construction
+	fbuf  []byte // staged outgoing frame (header + payload)
 	batch Batch  // reused by NewBatch
 	err   error  // sticky fatal error
 }
@@ -80,12 +81,17 @@ func (c *Client) Close() error {
 // Err returns the sticky fatal error, nil while the client is healthy.
 func (c *Client) Err() error { return c.err }
 
-// send writes one frame and flushes it.
+// send writes one frame and flushes it. The frame is staged through
+// appendFrame into a reusable buffer — handing writeFrame's header array
+// to the bufio.Writer would heap-allocate it on every request.
+//
+//botlint:hotpath
 func (c *Client) send(typ byte, payload []byte) error {
 	if c.err != nil {
 		return c.err
 	}
-	if err := writeFrame(c.bw, typ, payload); err != nil {
+	c.fbuf = appendFrame(c.fbuf[:0], typ, payload)
+	if _, err := c.bw.Write(c.fbuf); err != nil {
 		c.err = err
 		return err
 	}

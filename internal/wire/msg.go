@@ -243,6 +243,7 @@ func decodeSubmit(r *reader, dst []float64) (granularity float64, works []float6
 // power (0 keeps the server default).
 //
 //botlint:hotpath
+//botlint:wire-skip worker -- the JSON protocol carries the worker ID in the URL path, not the FetchRequest body
 func appendFetch(dst []byte, worker string, power float64) []byte {
 	dst = putString(dst, worker)
 	return putF64(dst, power)
@@ -264,6 +265,8 @@ func decodeFetch(r *reader) (worker []byte, power float64, err error) {
 // appendReport encodes a report payload: worker ID, replica token, status.
 //
 //botlint:hotpath
+//botlint:wire-skip worker -- the JSON protocol carries the worker ID in the URL path, not the ReportRequest body
+//botlint:wire-skip failed -- encoded as the status byte; the JSON twin's Status string carries the same bit
 func appendReport(dst []byte, worker string, replica uint64, failed bool) []byte {
 	dst = putString(dst, worker)
 	dst = binary.AppendUvarint(dst, replica)
@@ -292,6 +295,7 @@ func decodeReport(r *reader) (worker []byte, replica uint64, failed bool, err er
 // appendHeartbeat encodes a heartbeat payload: worker ID, replica token.
 //
 //botlint:hotpath
+//botlint:wire-skip worker -- the JSON protocol carries the worker ID in the URL path, not the HeartbeatRequest body
 func appendHeartbeat(dst []byte, worker string, replica uint64) []byte {
 	dst = putString(dst, worker)
 	return binary.AppendUvarint(dst, replica)

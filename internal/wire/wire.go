@@ -108,9 +108,10 @@ var (
 )
 
 // writeFrame sends one frame. Callers own buffering (a bufio.Writer per
-// connection) and flushing.
-//
-//botlint:hotpath
+// connection) and flushing. It is cold-path only — the handshake and the
+// error teardown; request traffic stages frames with appendFrame into
+// reusable buffers instead, because the header array's address escaping
+// into the io.Writer would put an allocation on every send.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [frameHeader]byte
 	hdr[0] = typ
@@ -124,12 +125,19 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 // readFrame reads and validates one frame, reusing buf when it is large
-// enough. The returned payload aliases the (possibly grown) buffer.
+// enough. The returned payload aliases the (possibly grown) buffer. The
+// header is read into the front of buf — its fields are extracted before
+// the payload read overwrites them — so the steady state touches no fresh
+// memory.
 //
 //botlint:hotpath
 func readFrame(r io.Reader, buf []byte) (byte, []byte, []byte, error) {
-	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if cap(buf) < frameHeader {
+		//botlint:ignore escape -- connection's first read: the reusable frame buffer is born here and returned for every later call
+		buf = make([]byte, frameHeader)
+	}
+	hdr := buf[:frameHeader]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, buf, err
 	}
 	typ := hdr[0]
@@ -142,6 +150,7 @@ func readFrame(r io.Reader, buf []byte) (byte, []byte, []byte, error) {
 		return 0, nil, buf, errOversized
 	}
 	if cap(buf) < int(length) {
+		//botlint:ignore escape -- payload growth to the burst's high-water mark; the grown buffer is returned and reused
 		buf = make([]byte, length)
 	}
 	payload := buf[:length]
