@@ -22,7 +22,12 @@
 #                replication suite (ladder engine vs the pre-ladder heap
 #                baseline, each engine in its own process so GC pacing
 #                starts equal, 3 runs per cell, medians) recorded as
-#                events/sec per configuration to BENCH_des.json
+#                events/sec per configuration to BENCH_des.json, plus the
+#                ladder-only scale cells (100k/250k/1M machines, 10k
+#                concurrent bags, utilization at and past 1) and the
+#                parallel sweep-engine scaling series (reps/sec at
+#                1/2/4/8 workers; on a single-core host the series reads
+#                as pool overhead-neutrality — see the "cpus" metric)
 #   make bench-serve  sustained dispatch throughput of the live sharded
 #                service: botload in-process at shards 1/2/4/8 over both
 #                transports (JSON/HTTP and the binary wire protocol),
@@ -69,7 +74,9 @@ bench:
 	@rm -f bench.out
 	@echo "wrote BENCH_sched.json"
 	@{ $(GO) test -bench '^BenchmarkReplication$$' -benchmem -benchtime 1x -count 3 -timeout 60m -run '^$$' ./internal/core/ && \
-	   $(GO) test -bench '^BenchmarkReplicationBaselineHeap$$' -benchmem -benchtime 1x -count 3 -timeout 60m -run '^$$' ./internal/core/ ; } \
+	   $(GO) test -bench '^BenchmarkReplicationBaselineHeap$$' -benchmem -benchtime 1x -count 3 -timeout 60m -run '^$$' ./internal/core/ && \
+	   $(GO) test -bench '^BenchmarkReplicationScale$$' -benchmem -benchtime 1x -count 3 -timeout 60m -run '^$$' ./internal/core/ && \
+	   $(GO) test -bench '^BenchmarkSweep$$' -benchmem -benchtime 1x -count 3 -timeout 60m -run '^$$' ./internal/experiment/ ; } \
 	 | tee benchdes.out
 	$(GO) run ./cmd/benchjson -median < benchdes.out > BENCH_des.json
 	@rm -f benchdes.out

@@ -5,7 +5,8 @@
 // The standard columns — iterations, ns/op and (with -benchmem) B/op and
 // allocs/op — get dedicated fields; any other "value unit" pair on the
 // line (a b.ReportMetric metric such as the replication suite's
-// events/sec) lands in the metrics map under its unit name. Environment
+// events/sec, or the sweep engine's reps/sec and cpus scaling series)
+// lands in the metrics map under its unit name. Environment
 // header lines (goos, goarch, cpu, pkg) are carried through verbatim;
 // anything else is ignored.
 //

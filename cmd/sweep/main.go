@@ -190,18 +190,27 @@ func runFigures(spec string, opts experiment.Options, format string, summary, si
 			figs = append(figs, f)
 		}
 	}
-	results := make(map[string]*experiment.FigureResult, len(figs))
+	// One RunFigures call: every requested panel's cells feed the shared
+	// worker pool, so a multi-figure sweep keeps all workers busy end to
+	// end instead of draining one figure at a time.
+	start := time.Now()
+	results, err := experiment.RunFigures(figs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
 	for _, f := range figs {
-		start := time.Now()
-		fr, err := experiment.RunFigure(f, opts)
-		if err != nil {
-			fatal(err)
-		}
-		results[f.ID] = fr
-		renderFigure(fr, format, summary, signif, svgDir)
+		renderFigure(results[f.ID], format, summary, signif, svgDir)
 		if format == "table" || format == "chart" {
-			fmt.Printf("(%s in %.1fs)\n\n", f.ID, time.Since(start).Seconds())
+			fmt.Println()
 		}
+	}
+	if format == "table" || format == "chart" {
+		par := opts.Parallelism
+		if par <= 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("(%d figure(s) in %.1fs, parallel=%d)\n\n", len(figs), elapsed, par)
 	}
 	return results
 }

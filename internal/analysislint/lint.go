@@ -117,6 +117,10 @@ func DefaultConfig(modPath string) Config {
 			modPath + "/internal/grid",
 			modPath + "/internal/workload",
 			modPath + "/internal/rng",
+			// The sweep engine promises bit-identical results at any
+			// parallelism; an unordered map range in its fold or
+			// publication paths would break that silently.
+			modPath + "/internal/experiment",
 		},
 		StrictErrorPkgs: []string{
 			modPath + "/internal/journal",

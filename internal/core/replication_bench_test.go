@@ -85,6 +85,102 @@ func replicationConfigs() []struct {
 	return out
 }
 
+// scaleConfigs opens the machine-count and load axes beyond the matrix:
+// 100k-to-1M-machine grids (the desktop-grid scales the paper gestures at
+// but never simulates), a 10k-concurrent-bag backlog, and utilization at
+// and past saturation. Machine-count cells scale AppSize linearly with the
+// grid so the horizon — and with it the Weibull churn per machine — stays
+// constant; events then grow linearly with machines and events/sec should
+// hold roughly flat if the engine scales. Ladder-only (these are not in
+// replicationConfigs) so the heap baseline does not pay for them.
+func scaleConfigs() []struct {
+	name string
+	cfg  RunConfig
+} {
+	var out []struct {
+		name string
+		cfg  RunConfig
+	}
+	// The stress-cell recipe at 5×, 12.5× and 50× machines: Hom/LowAvail,
+	// gran 50000, U=0.3, NumBoTs=6. 20k machines ≈ 0.17 s/replication, so
+	// these land near 1 s, 2 s and 9 s per replication respectively.
+	for _, sc := range []struct {
+		name     string
+		machines float64
+	}{
+		{"Scale/100k-machines", 1e5},
+		{"Scale/250k-machines", 2.5e5},
+		{"Scale/1M-machines", 1e6},
+	} {
+		gc := grid.DefaultConfig(grid.Hom, grid.LowAvail)
+		gc.TotalPower = gc.HomPower * sc.machines
+		appSize := 2.5e3 * sc.machines // AppSize ∝ machines keeps the horizon fixed
+		lambda := workload.LambdaForUtilization(
+			0.3, appSize, EffectivePower(gc, RunConfig{}.withDefaults().Checkpoint))
+		out = append(out, struct {
+			name string
+			cfg  RunConfig
+		}{sc.name, RunConfig{
+			Seed: 7,
+			Grid: gc,
+			Workload: workload.Config{
+				Granularities: []float64{50000},
+				AppSize:       appSize,
+				Spread:        0.5,
+				Lambda:        lambda,
+			},
+			Policy:  FCFSShare,
+			NumBoTs: 6,
+		}})
+	}
+	// Backlog depth: tiny bags (10 tasks each) on the default grid at 4×
+	// overload, ten thousand of them — the scheduler's per-bag structures
+	// see thousands of concurrent waiting bags instead of the usual dozens.
+	{
+		gc := grid.DefaultConfig(grid.Hom, grid.HighAvail)
+		// λ = U/D with U=4: past LambdaForUtilization's stable-regime
+		// domain, so invert Eq. 1 directly.
+		lambda := 4.0 / workload.Demand(1e4, EffectivePower(gc, RunConfig{}.withDefaults().Checkpoint))
+		out = append(out, struct {
+			name string
+			cfg  RunConfig
+		}{"Bags/10k-concurrent", RunConfig{
+			Seed: 7,
+			Grid: gc,
+			Workload: workload.Config{
+				Granularities: []float64{1000},
+				AppSize:       1e4,
+				Spread:        0.5,
+				Lambda:        lambda,
+			},
+			Policy:  FCFSShare,
+			NumBoTs: 10000,
+		}})
+	}
+	// Utilization at and beyond 1: the knife-edge and the overloaded regime
+	// the figures mark SATURATED. Horizon-bounded, so both stay cheap.
+	for _, u := range []float64{1.0, 1.5} {
+		gc := grid.DefaultConfig(grid.Hom, grid.HighAvail)
+		lambda := u / workload.Demand(1e5, EffectivePower(gc, RunConfig{}.withDefaults().Checkpoint))
+		out = append(out, struct {
+			name string
+			cfg  RunConfig
+		}{fmt.Sprintf("Overload/U=%.1f", u), RunConfig{
+			Seed: 7,
+			Grid: gc,
+			Workload: workload.Config{
+				Granularities: []float64{25000},
+				AppSize:       1e5,
+				Spread:        0.5,
+				Lambda:        lambda,
+			},
+			Policy:  FCFSShare,
+			NumBoTs: 40,
+		}})
+	}
+	return out
+}
+
 // benchReplication runs whole simulations and reports throughput in
 // events/sec — the metric BENCH_des.json tracks per configuration.
 func benchReplication(b *testing.B, cfg RunConfig) {
@@ -120,6 +216,17 @@ func benchReplication(b *testing.B, cfg RunConfig) {
 // default (ladder-queue) engine across the grid/workload matrix.
 func BenchmarkReplication(b *testing.B) {
 	for _, c := range replicationConfigs() {
+		b.Run(c.name, func(b *testing.B) {
+			benchReplication(b, c.cfg)
+		})
+	}
+}
+
+// BenchmarkReplicationScale runs the large-scale cells (100k–1M machines,
+// deep bag backlogs, utilization ≥ 1) on the ladder engine only. Use
+// -benchtime 1x: the 1M-machine cell runs seconds per replication.
+func BenchmarkReplicationScale(b *testing.B) {
+	for _, c := range scaleConfigs() {
 		b.Run(c.name, func(b *testing.B) {
 			benchReplication(b, c.cfg)
 		})

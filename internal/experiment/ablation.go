@@ -61,13 +61,17 @@ func ablate(name, caption string, f Figure, o Options, gran float64, pol core.Po
 		return nil, err
 	}
 	ar := &AblationResult{Name: name, Caption: caption}
+	// One warm engine across every variant and replication: ablation rows
+	// run sequentially, so the runner's arena and queue capacities carry
+	// over (results are bit-identical to cold runs; see core.Runner).
+	var runner core.Runner
 	for _, v := range variants {
 		var acc, overhead stats.Accumulator
 		row := AblationRow{Label: v.label}
 		for rep := 0; rep < o.MinReps; rep++ {
 			cfg := o.CellConfig(f, gran, pol, rep)
 			v.mut(&cfg)
-			res, err := core.Run(cfg)
+			res, err := runner.Run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -311,6 +315,7 @@ func MixedWorkloadStudy(o Options) ([]MixedRow, error) {
 	}
 	f := Figure{ID: "A3", Caption: "mixed granularities", Het: grid.Het, Avail: grid.MedAvail, Util: 0.75}
 	var rows []MixedRow
+	var runner core.Runner // warm engine across policies and replications
 	for _, pol := range o.Policies {
 		row := MixedRow{Policy: pol, PerGran: map[float64]stats.Interval{}}
 		perGran := map[float64]*stats.Accumulator{}
@@ -318,7 +323,7 @@ func MixedWorkloadStudy(o Options) ([]MixedRow, error) {
 		for rep := 0; rep < o.MinReps; rep++ {
 			cfg := o.CellConfig(f, o.Granularities[0], pol, rep)
 			cfg.Workload.Granularities = o.Granularities
-			res, err := core.Run(cfg)
+			res, err := runner.Run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -338,6 +343,7 @@ func MixedWorkloadStudy(o Options) ([]MixedRow, error) {
 				overall.Add(mean.Mean())
 			}
 		}
+		//botlint:sorted -- fills a map keyed by granularity; order is immaterial
 		for g, a := range perGran {
 			row.PerGran[g] = a.CI(o.Confidence)
 		}

@@ -32,7 +32,8 @@ type savedOptions struct {
 // bookkeeping do not require re-simulation.
 func SaveResults(w io.Writer, results map[string]*FigureResult) error {
 	doc := make(map[string]savedFigure, len(results))
-	for id, fr := range results {
+	for _, id := range SortedIDs(results) {
+		fr := results[id]
 		o := fr.Options.withDefaults()
 		sf := savedFigure{
 			Figure: fr.Figure,
@@ -65,6 +66,7 @@ func LoadResults(r io.Reader) (map[string]*FigureResult, error) {
 		return nil, fmt.Errorf("experiment: loading results: %w", err)
 	}
 	out := make(map[string]*FigureResult, len(doc))
+	//botlint:sorted -- builds a map keyed by id; iteration order is immaterial
 	for id, sf := range doc {
 		fr := &FigureResult{Figure: sf.Figure}
 		fr.Options = Options{

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"botgrid/internal/core"
 	"botgrid/internal/stats"
@@ -143,132 +142,31 @@ func (fr *FigureResult) Winner(granularity float64) (core.PolicyKind, bool) {
 }
 
 // RunFigure reproduces one figure panel: for every granularity × policy it
-// runs replications (in parallel, bounded by Options.Parallelism) until the
-// confidence target is met or MaxReps is reached.
+// runs replications until the confidence target is met or MaxReps is
+// reached. The panel's replication units run through the shared pool
+// engine (see sweep.go); results are bit-identical at any
+// Options.Parallelism. Cell errors are joined, so a multi-cell failure
+// reports every broken cell; the partial result is still returned.
 func RunFigure(f Figure, o Options) (*FigureResult, error) {
-	o = o.withDefaults()
-	if err := o.Validate(); err != nil {
+	rs, err := RunSweep([]Figure{f}, o)
+	if rs == nil {
 		return nil, err
 	}
-	fr := &FigureResult{Figure: f, Options: o}
-	fr.Cells = make([][]Cell, len(o.Granularities))
-
-	sem := make(chan struct{}, o.Parallelism)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-
-	for gi, gran := range o.Granularities {
-		fr.Cells[gi] = make([]Cell, len(o.Policies))
-		for pi, pol := range o.Policies {
-			gi, pi, gran, pol := gi, pi, gran, pol
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				cell, err := runCell(f, o, gran, pol, sem)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				fr.Cells[gi][pi] = cell
-			}()
-		}
-	}
-	wg.Wait()
-	return fr, firstErr
+	return rs[f.ID], err
 }
 
-// runCell runs the sequential replication procedure for one cell. The
-// semaphore bounds global concurrency across cells.
-func runCell(f Figure, o Options, gran float64, pol core.PolicyKind, sem chan struct{}) (Cell, error) {
-	cell := Cell{Granularity: gran, Policy: pol}
-	var acc, waiting, makespan, overhead stats.Accumulator
-	var pooled, slowdowns []float64
-
-	// One warm engine per cell: replications within a cell run
-	// sequentially, so the runner's arena and queue capacities carry
-	// from one replication to the next.
-	var runner core.Runner
-	runRep := func(rep int) error {
-		sem <- struct{}{}
-		defer func() { <-sem }()
-		res, err := runner.Run(o.CellConfig(f, gran, pol, rep))
-		if err != nil {
-			return err
-		}
-		var w, m stats.Accumulator
-		for _, b := range res.Bags {
-			w.Add(b.Waiting)
-			m.Add(b.Makespan)
-			pooled = append(pooled, b.Turnaround)
-			slowdowns = append(slowdowns, b.Slowdown)
-		}
-		if res.Saturated {
-			cell.SaturatedReps++
-		}
-		if len(res.Bags) > 0 {
-			acc.Add(res.MeanTurnaround())
-			waiting.Add(w.Mean())
-			makespan.Add(m.Mean())
-		}
-		if res.TasksCompleted > 0 {
-			overhead.Add(float64(res.ReplicasStarted) / float64(res.TasksCompleted))
-		}
-		cell.Reps++
-		return nil
-	}
-
-	// Replications run sequentially within a cell (the CI decides when to
-	// stop); cells themselves run in parallel.
-	for rep := 0; rep < o.MinReps; rep++ {
-		if err := runRep(rep); err != nil {
-			return cell, err
-		}
-	}
-	for rep := o.MinReps; rep < o.MaxReps; rep++ {
-		ci := acc.CI(o.Confidence)
-		if acc.N() >= 2 && ci.RelErr() <= o.RelErr {
-			break
-		}
-		if cell.SaturatedReps*2 > cell.Reps {
-			break // saturated cells never converge; stop early
-		}
-		if err := runRep(rep); err != nil {
-			return cell, err
-		}
-	}
-
-	cell.CI = acc.CI(o.Confidence)
-	cell.Saturated = cell.SaturatedReps*2 > cell.Reps
-	cell.MeanWaiting = waiting.Mean()
-	cell.MeanMakespan = makespan.Mean()
-	cell.ReplicaOverhead = overhead.Mean()
-	cell.P50 = stats.Percentile(pooled, 0.50)
-	cell.P95 = stats.Percentile(pooled, 0.95)
-	var sd stats.Accumulator
-	sd.AddAll(slowdowns)
-	cell.MeanSlowdown = sd.Mean()
-	cell.Fairness = stats.JainIndex(slowdowns)
-	return cell, nil
-}
-
-// RunFigures runs several panels and returns them keyed by figure ID.
+// RunFigures runs several panels and returns them keyed by figure ID. All
+// panels' cells feed one work queue served by one worker pool, so a
+// multi-figure sweep saturates Options.Parallelism workers end to end
+// instead of draining one figure at a time.
 func RunFigures(figs []Figure, o Options) (map[string]*FigureResult, error) {
-	out := make(map[string]*FigureResult, len(figs))
-	for _, f := range figs {
-		fr, err := RunFigure(f, o)
-		if err != nil {
-			return nil, err
-		}
-		out[f.ID] = fr
-	}
-	return out, nil
+	return RunSweep(figs, o)
 }
 
 // SortedIDs returns the figure IDs of a result map in catalog order.
 func SortedIDs(m map[string]*FigureResult) []string {
 	ids := make([]string, 0, len(m))
+	//botlint:sorted -- keys are collected then explicitly sorted below
 	for id := range m {
 		ids = append(ids, id)
 	}

@@ -83,6 +83,7 @@ func Scoreboard(results map[string]*FigureResult) []ScoreRow {
 		}
 	}
 	var rows []ScoreRow
+	//botlint:sorted -- rows are explicitly sorted by wins/policy just below
 	for p, r := range byPolicy {
 		r.MeanRank = rankAcc[p].Mean()
 		rows = append(rows, *r)
